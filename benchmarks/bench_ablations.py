@@ -1,0 +1,94 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* ``thresh`` — the cut-size pruning bound (paper: 15);
+* special decompositions on/off (Sec. III-B3);
+* reordering on/off (Algorithm 3's first step);
+* final K-LUT packing on/off (the gate-to-cell covering);
+* α/β/γ — the gain-formula parameters (paper: "no obvious winner").
+"""
+
+from dataclasses import replace
+
+from repro.benchgen import build_circuit
+from repro.core import DDBDDConfig, ddbdd_synthesize
+
+CIRCUITS = ["sct", "count", "9sym", "misex1", "unreg"]
+
+
+def _run_suite(config: DDBDDConfig):
+    depth = area = 0
+    for name in CIRCUITS:
+        result = ddbdd_synthesize(build_circuit(name), config)
+        depth += result.depth
+        area += result.area
+    return depth, area
+
+
+def test_ablation_thresh(once, benchmark):
+    def sweep():
+        return {t: _run_suite(DDBDDConfig(thresh=t)) for t in (4, 8, 15, 30)}
+
+    results = once(sweep)
+    print("\nthresh sweep (sum depth, sum area):", results)
+    benchmark.extra_info["results"] = {str(k): v for k, v in results.items()}
+    # The paper's 15 should be on the quality plateau.
+    assert results[15][0] <= results[4][0]
+
+
+def test_ablation_special_decompositions(once, benchmark):
+    def run():
+        with_sd = _run_suite(DDBDDConfig(use_special_decompositions=True))
+        without_sd = _run_suite(DDBDDConfig(use_special_decompositions=False))
+        return {"with": with_sd, "without": without_sd}
+
+    results = once(run)
+    print("\nspecial decompositions:", results)
+    benchmark.extra_info["results"] = results
+    # Specials use fewer sub-BDDs: never worse on depth, usually
+    # cheaper on area.
+    assert results["with"][0] <= results["without"][0]
+
+
+def test_ablation_reordering(once, benchmark):
+    def run():
+        return {
+            "none": _run_suite(DDBDDConfig(reorder_effort="none")),
+            "sift": _run_suite(DDBDDConfig(reorder_effort="sift")),
+        }
+
+    results = once(run)
+    print("\nreordering:", results)
+    benchmark.extra_info["results"] = results
+    # Size-reducing reordering should pay for itself on depth.
+    assert results["sift"][0] <= results["none"][0] + 2
+
+
+def test_ablation_final_packing(once, benchmark):
+    def run():
+        return {
+            "packed": _run_suite(DDBDDConfig(final_packing=True)),
+            "raw": _run_suite(DDBDDConfig(final_packing=False)),
+        }
+
+    results = once(run)
+    print("\nfinal packing:", results)
+    benchmark.extra_info["results"] = results
+    assert results["packed"][0] <= results["raw"][0]
+    assert results["packed"][1] <= results["raw"][1]
+
+
+def test_ablation_gain_parameters(once, benchmark):
+    def run():
+        out = {}
+        for alpha, beta, gamma in [(3.0, 0.5, 0.5), (1.0, 0.5, 0.5), (3.0, 0.0, 0.0), (3.0, 1.0, 1.0)]:
+            cfg = DDBDDConfig(alpha=alpha, beta=beta, gamma=gamma)
+            out[f"a{alpha}_b{beta}_g{gamma}"] = _run_suite(cfg)
+        return out
+
+    results = once(run)
+    print("\ngain parameters:", results)
+    benchmark.extra_info["results"] = results
+    # Paper: "there is no obvious winner" — all settings within a
+    # modest band of each other.
+    depths = [d for d, _ in results.values()]
+    assert max(depths) <= min(depths) + 6

@@ -1,0 +1,18 @@
+"""Theorem 1 bench: one-BDD synthesis runtime scaling.
+
+The paper proves O(n²·N²) time for synthesizing one BDD of N nodes
+over n variables; the fitted log-log slope of runtime vs N should stay
+comfortably below cubic.
+"""
+
+from repro.experiments import run_scaling
+
+
+def test_scaling_theorem1(once, benchmark):
+    result = once(run_scaling)
+    print("\n" + result.render())
+    benchmark.extra_info.update(result.summary)
+    benchmark.extra_info["paper_bound"] = "O(n^2 N^2) time, O(n N^2) space"
+    exponent = result.summary["fitted_time_vs_N_exponent"]
+    assert exponent == exponent  # not NaN
+    assert exponent < 3.5

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the substrates (BDD ops, sifting, mapping, VPR).
+
+Not tied to a paper table; these keep regressions in the supporting
+machinery visible.
+"""
+
+import random
+
+from repro.aig.from_network import network_to_aig
+from repro.bdd.manager import BDDManager
+from repro.bdd.reorder import sift
+from repro.benchgen import build_circuit
+from repro.core import ddbdd_synthesize
+from repro.mapping.mapper import MapperConfig, map_aig
+from repro.vpr import vpr_flow
+
+
+def _random_bdd(num_vars=14, n_cubes=24, seed=3):
+    rng = random.Random(seed)
+    mgr = BDDManager(num_vars)
+    f = mgr.ZERO
+    for _ in range(n_cubes):
+        term = mgr.ONE
+        for v in rng.sample(range(num_vars), rng.randint(2, 5)):
+            lit = mgr.var(v) if rng.random() < 0.5 else mgr.nvar(v)
+            term = mgr.apply_and(term, lit)
+        f = mgr.apply_or(f, term)
+    return mgr, f
+
+
+def test_bdd_construction(benchmark):
+    benchmark(lambda: _random_bdd())
+
+
+def test_bdd_sifting(benchmark):
+    mgr, f = _random_bdd()
+    benchmark.pedantic(lambda: sift(mgr, f), rounds=3, iterations=1)
+
+
+def test_mapper_on_benchmark(benchmark):
+    net = build_circuit("cht")
+    aig = network_to_aig(net)
+    benchmark.pedantic(lambda: map_aig(aig, MapperConfig()), rounds=3, iterations=1)
+
+
+def test_ddbdd_flow_runtime(benchmark):
+    net = build_circuit("sct")
+    result = benchmark.pedantic(lambda: ddbdd_synthesize(net), rounds=3, iterations=1)
+    benchmark.extra_info["depth"] = result.depth
+    benchmark.extra_info["area"] = result.area
+
+
+def test_vpr_flow_runtime(benchmark):
+    net = build_circuit("count")
+    mapped = ddbdd_synthesize(net).network
+    result = benchmark.pedantic(
+        lambda: vpr_flow(mapped, seed=1, place_effort=0.3), rounds=1, iterations=1
+    )
+    benchmark.extra_info["critical_path_ns"] = result.critical_path_ns

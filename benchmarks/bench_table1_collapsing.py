@@ -1,0 +1,16 @@
+"""Table I bench: collapsing ablation (Delay_w vs Delay_wo).
+
+Paper claim: DDBDD with Algorithm 2 collapsing always produces better
+or equal mapping depth than without.
+"""
+
+from repro.benchgen import TABLE1_SUITE
+from repro.experiments import run_table1
+
+
+def test_table1_collapsing(once, benchmark):
+    result = once(run_table1, circuits=TABLE1_SUITE)
+    print("\n" + result.render())
+    benchmark.extra_info.update(result.summary)
+    benchmark.extra_info["paper_claim"] = "with-collapsing depth <= without, always"
+    assert result.summary["circuits_where_collapsing_hurts"] == 0

@@ -1,0 +1,16 @@
+"""Table V bench: nine control circuits, all four flows.
+
+Paper: DDBDD has the best average mapping depth on the control suite
+(the circuits BDD restructuring was built for).
+"""
+
+from repro.experiments import run_table5
+
+
+def test_table5_control(once, benchmark):
+    result = once(run_table5)
+    print("\n" + result.render())
+    benchmark.extra_info.update(result.summary)
+    benchmark.extra_info["paper"] = "DDBDD best mapping depth on all control circuits"
+    assert result.summary["norm_depth_bdspga"] > 1.0
+    assert result.summary["norm_depth_abc"] > 1.0

@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every paper table has one benchmark module that (a) regenerates the
+table's rows on a representative circuit subset, (b) records the
+headline aggregates into ``benchmark.extra_info`` so the JSON output
+carries the paper-vs-measured comparison, and (c) prints the rendered
+table (run pytest with ``-s`` to see them).
+
+Full-suite runs (all circuits, full placement effort) are driven from
+``repro.experiments`` directly — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (these are second-scale EDA flows, not
+    microseconds — statistical rounds would be wasteful)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,56 @@
+"""Don't-care optimization ahead of synthesis.
+
+The SIS scripts the paper's baseline uses ([2], [3]) exploit
+observability don't cares: logic that never reaches an output under
+some fanin assignments may be simplified.  Our ODC-lite pass
+(`repro.network.dontcare`) computes exact observability don't cares
+from global BDDs and minimizes each node inside the resulting
+interval.  This example shows it shaving logic before the DDBDD flow
+— a taste of how the reproduction's substrates compose beyond the
+paper's own pipeline.
+
+Run:  python examples/dont_care_flow.py
+"""
+
+from repro import BooleanNetwork, check_equivalence, ddbdd_synthesize
+from repro.baselines.espresso import network_literals
+from repro.network.dontcare import simplify_with_odc
+
+
+def masked_datapath() -> BooleanNetwork:
+    """A guarded datapath: downstream logic masks g unless sel·valid."""
+    net = BooleanNetwork("masked")
+    for p in ("sel", "valid", "a", "b", "c", "d"):
+        net.add_pi(p)
+    net.add_gate("gate", "and", ["sel", "valid"])
+    # g computes something complicated; only its sel=1 column matters.
+    net.add_gate("g", "mux", ["sel", "a", "b"])
+    net.add_gate("h", "xor", ["g", "c"])
+    net.add_gate("masked", "and", ["gate", "h"])
+    net.add_gate("other", "or", ["masked", "d"])
+    net.add_po("y", "other")
+    net.check()
+    return net
+
+
+def main() -> None:
+    net = masked_datapath()
+    before_lits = network_literals(net)
+    ref = net.copy()
+
+    changed = simplify_with_odc(net)
+    after_lits = network_literals(net)
+    assert check_equivalence(ref, net).equivalent
+    print(f"ODC simplification: {changed} node(s) simplified, "
+          f"literals {before_lits} -> {after_lits}")
+
+    result = ddbdd_synthesize(net)
+    baseline = ddbdd_synthesize(ref)
+    print(f"DDBDD after ODC: depth {result.depth}, {result.area} LUTs")
+    print(f"DDBDD without:   depth {baseline.depth}, {baseline.area} LUTs")
+    assert check_equivalence(ref, result.network).equivalent
+    print("both mapped networks verified equivalent to the original")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Priority/case-statement control logic: the depth-optimization margin.
+
+Control circuits are full of priority structures — interrupt
+arbitration, case statements, bus grants.  Written naturally, they are
+chains of MUXes whose depth grows linearly; structure-preserving
+technology mappers inherit that chain, while DDBDD collapses it into
+supernodes and rebuilds a balanced decomposition with its dynamic
+program.  This is the "large optimization margin through BDD synthesis"
+the paper's abstract claims, demonstrated on a priority arbiter you can
+size from the command line.
+
+Run:  python examples/priority_control.py [chain-length]
+"""
+
+import sys
+
+from repro import BooleanNetwork, check_equivalence, ddbdd_synthesize, network_depth
+from repro.baselines import abc_flow, bdspga_synthesize, sis_daomap_flow
+
+
+def priority_arbiter(n: int) -> BooleanNetwork:
+    """n-way priority arbiter: request i wins iff no lower-index
+    request is active and its enable condition holds."""
+    net = BooleanNetwork(f"arbiter{n}")
+    reqs = [net.add_pi(f"req{i}") for i in range(n)]
+    ens = [net.add_pi(f"en{i}") for i in range(n)]
+    data = [net.add_pi(f"d{i}") for i in range(n + 1)]
+    conds = []
+    for i in range(n):
+        c = f"c{i}"
+        net.add_gate(c, "and", [reqs[i], ens[i]])
+        conds.append(c)
+    cur = data[n]
+    for i in reversed(range(n)):
+        m = f"m{i}"
+        net.add_gate(m, "mux", [conds[i], data[i], cur])
+        cur = m
+    net.add_po("granted_data", cur)
+    net.check()
+    return net
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    net = priority_arbiter(n)
+    print(f"{n}-way priority arbiter, source netlist depth {network_depth(net)}\n")
+    for label, flow in [
+        ("DDBDD", ddbdd_synthesize),
+        ("BDS-pga", bdspga_synthesize),
+        ("SIS+DAOmap", sis_daomap_flow),
+        ("ABC", abc_flow),
+    ]:
+        result = flow(net)
+        ok = check_equivalence(net, result.network).equivalent
+        print(f"{label:12s} depth={result.depth:2d}  LUTs={result.area:3d}  "
+              f"equivalent={'yes' if ok else 'NO'}")
+    print("\nDDBDD's collapse + delay-driven decomposition rebalances the")
+    print("mux chain; the mappers can only cover the chain K gates at a time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""XOR-intensive logic: where BDD synthesis crushes SOP-based flows.
+
+The paper's Sec. I motivation (inherited from BDS): traditional
+AND/OR-oriented logic optimization "is far from satisfactory" on
+XOR-intensive circuits, because their sum-of-products forms explode.
+This example runs symmetric and parity benchmarks through all four
+flows; watch the SIS/ABC area (their ISOP factoring pays the SOP
+price) against DDBDD's compact XNOR decompositions.
+
+Run:  python examples/xor_intensive.py
+"""
+
+from repro import build_circuit, check_equivalence, ddbdd_synthesize
+from repro.baselines import abc_flow, bdspga_synthesize, sis_daomap_flow
+
+CIRCUITS = ["9sym", "t481", "parity", "my_adder"]
+
+
+def main() -> None:
+    header = f"{'circuit':10s} {'DDBDD':>12s} {'BDS-pga':>12s} {'SIS+DAOmap':>12s} {'ABC':>12s}"
+    print(header)
+    print("-" * len(header))
+    for name in CIRCUITS:
+        net = build_circuit(name)
+        results = {
+            "DDBDD": ddbdd_synthesize(net),
+            "BDS-pga": bdspga_synthesize(net),
+            "SIS": sis_daomap_flow(net),
+            "ABC": abc_flow(net),
+        }
+        for label, r in results.items():
+            assert check_equivalence(net, r.network).equivalent, (name, label)
+        cells = [f"{r.depth}d/{r.area}L" for r in results.values()]
+        print(f"{name:10s} " + " ".join(f"{c:>12s}" for c in cells))
+    print("\n(d = mapping depth in LUT levels, L = LUT count, K = 5)")
+    print("Note how the SOP-based flows pay one to two orders of magnitude")
+    print("in area on the symmetric functions — the paper's core motivation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Full experiment run recording paper-vs-measured for EXPERIMENTS.md.
+
+Usage: python results/run_all.py
+Writes results/full_run.txt (see also `ddbdd table N` for single tables).
+"""
+from repro.experiments import run_all
+
+with open("results/full_run.txt", "w") as fh:
+    run_all(out=fh)
+print("wrote results/full_run.txt")

@@ -1,0 +1,8 @@
+"""Reduced-scope Table IV run for EXPERIMENTS.md (single-core budget)."""
+from repro.experiments import run_table4
+
+circuits = ["alu4", "apex4", "ex5p", "misex3", "seq", "mult8"]
+result = run_table4(circuits=circuits, include_daomap=True, place_effort=0.25, seed=1)
+with open("results/table4.txt", "w") as fh:
+    fh.write(result.render() + "\n")
+print(result.render())

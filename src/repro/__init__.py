@@ -1,0 +1,77 @@
+"""DDBDD — delay-driven BDD synthesis for FPGAs (full reproduction).
+
+Reproduces Cheng, Chen & Wong, *DDBDD: Delay-Driven BDD Synthesis for
+FPGAs* (DAC 2007 / IEEE TCAD 27(7), 2008) as a self-contained Python
+library: the DDBDD flow itself, every substrate it needs (a BDD engine,
+Boolean networks with BLIF I/O, an AIG, a cut-based technology mapper,
+a VPR-like place-and-route flow), the three baselines the paper
+compares against, seeded MCNC-like benchmark generators, and drivers
+regenerating every table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import build_circuit, ddbdd_synthesize
+
+    net = build_circuit("9sym")
+    result = ddbdd_synthesize(net)
+    print(result.depth, result.area)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and fidelity notes, and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.bdd import BDDManager, LeveledBDD
+from repro.network import (
+    BooleanNetwork,
+    check_equivalence,
+    network_depth,
+    parse_blif,
+    read_blif,
+    write_blif,
+)
+from repro.core import DDBDDConfig, SynthesisResult, ddbdd_synthesize
+from repro.baselines import abc_flow, bdspga_synthesize, sis_daomap_flow
+from repro.mapping import MapperConfig, map_aig
+from repro.aig import AIG, network_to_aig
+from repro.vpr import Architecture, vpr_flow
+from repro.benchgen import (
+    CIRCUITS,
+    TABLE1_SUITE,
+    TABLE3_SUITE,
+    TABLE4_SUITE,
+    TABLE5_SUITE,
+    build_circuit,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDDManager",
+    "LeveledBDD",
+    "BooleanNetwork",
+    "parse_blif",
+    "read_blif",
+    "write_blif",
+    "check_equivalence",
+    "network_depth",
+    "DDBDDConfig",
+    "SynthesisResult",
+    "ddbdd_synthesize",
+    "bdspga_synthesize",
+    "sis_daomap_flow",
+    "abc_flow",
+    "MapperConfig",
+    "map_aig",
+    "AIG",
+    "network_to_aig",
+    "Architecture",
+    "vpr_flow",
+    "build_circuit",
+    "CIRCUITS",
+    "TABLE1_SUITE",
+    "TABLE3_SUITE",
+    "TABLE4_SUITE",
+    "TABLE5_SUITE",
+    "__version__",
+]

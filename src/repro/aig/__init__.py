@@ -1,0 +1,25 @@
+"""And-Inverter Graphs.
+
+The substrate for the SIS+DAOmap and ABC baseline flows: a 2-input
+AND-with-complemented-edges network with structural hashing
+(:mod:`repro.aig.aig`), conversion from Boolean networks via
+arrival-aware ISOP factoring (:mod:`repro.aig.from_network` — the
+``tech_decomp``/``dmig`` analog) and algebraic tree balancing
+(:mod:`repro.aig.balance` — the ABC ``balance`` analog).
+"""
+
+from repro.aig.aig import AIG, lit, lit_not, lit_var, lit_compl, TRUE_LIT, FALSE_LIT
+from repro.aig.from_network import network_to_aig
+from repro.aig.balance import balance
+
+__all__ = [
+    "AIG",
+    "lit",
+    "lit_not",
+    "lit_var",
+    "lit_compl",
+    "TRUE_LIT",
+    "FALSE_LIT",
+    "network_to_aig",
+    "balance",
+]

@@ -1,0 +1,26 @@
+"""Baseline flows the paper compares against (all reimplemented).
+
+* :mod:`repro.baselines.bdspga` — BDS-pga [12]: MFFC-based collapsing
+  followed by dominator-driven heuristic BDD decomposition (no delay
+  awareness in the main loop) plus its delay-resynthesis post-pass.
+* :mod:`repro.baselines.sis` — SIS [4] script-style cleanup +
+  ``tech_decomp``/``dmig`` 2-input decomposition, feeding DAOmap [6]
+  (our cut-based depth-optimal mapper with area recovery).
+* :mod:`repro.baselines.abc` — ABC [7] ``choice; fpga`` ×5: strash +
+  balance + priority-cut mapping, best of several passes.
+* :mod:`repro.baselines.espresso` — ESPRESSO-lite two-level cleanup
+  (BDD-ISOP based) used by the SIS-style script.
+"""
+
+from repro.baselines.bdspga import bdspga_synthesize, decompose_bdd_bds, BDSPgaConfig
+from repro.baselines.sis import sis_daomap_flow, sis_optimize
+from repro.baselines.abc import abc_flow
+
+__all__ = [
+    "bdspga_synthesize",
+    "decompose_bdd_bds",
+    "BDSPgaConfig",
+    "sis_daomap_flow",
+    "sis_optimize",
+    "abc_flow",
+]

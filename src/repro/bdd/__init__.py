@@ -1,0 +1,38 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+This package is a from-scratch BDD engine sized for logic synthesis work:
+
+* :mod:`repro.bdd.manager` — hash-consed node store with ITE, Boolean
+  connectives, cofactors, composition and support computation.
+* :mod:`repro.bdd.reorder` — variable reordering (sifting by rebuild and
+  exhaustive search for small supports).
+* :mod:`repro.bdd.isop` — Minato–Morreale irredundant sum-of-products
+  extraction, used for BLIF export and the ESPRESSO-lite substrate.
+* :mod:`repro.bdd.leveled` — the structural, level-annotated view of one
+  BDD used by the DDBDD dynamic program: variable/node levels
+  (Definitions 1–2 of the paper), cuts and cut sets ``CS(u, l)``
+  (Definitions 3, 4, 6 and Algorithm 4) and sub-BDD functions
+  ``Bs(u, l, v)`` (Definitions 5 and 7).
+* :mod:`repro.bdd.dot` — Graphviz export for debugging and documentation.
+
+Functions are referenced by integer node ids; ``BDDManager.ZERO`` and
+``BDDManager.ONE`` are the terminals.  There are no complement edges: the
+paper's algorithms reason about paths from the root to terminal 1, which
+is only a structural notion on plain ROBDDs (see DESIGN.md).
+"""
+
+from repro.bdd.manager import BDDManager, BDDError, NodeLimitExceeded
+from repro.bdd.leveled import LeveledBDD
+from repro.bdd.isop import isop
+from repro.bdd.reorder import sift, exhaustive_reorder, reorder_for_size
+
+__all__ = [
+    "BDDManager",
+    "BDDError",
+    "NodeLimitExceeded",
+    "LeveledBDD",
+    "isop",
+    "sift",
+    "exhaustive_reorder",
+    "reorder_for_size",
+]

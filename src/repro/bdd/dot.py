@@ -1,0 +1,30 @@
+"""Graphviz export of BDDs (debugging / documentation aid).
+
+Solid edges are 1-edges and dashed edges are 0-edges, matching the
+drawing convention of the paper (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDDManager
+
+
+def to_dot(mgr: BDDManager, f: int, name: str = "bdd") -> str:
+    """Render the BDD rooted at ``f`` as a Graphviz ``digraph`` string."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  t1 [label="1", shape=box];')
+    lines.append('  t0 [label="0", shape=box];')
+
+    def node_name(n: int) -> str:
+        if n == mgr.ONE:
+            return "t1"
+        if n == mgr.ZERO:
+            return "t0"
+        return f"n{n}"
+
+    for node, var, lo, hi in mgr.iter_nodes(f):
+        lines.append(f'  n{node} [label="{mgr.var_name(var)}", shape=circle];')
+        lines.append(f"  n{node} -> {node_name(hi)};")
+        lines.append(f"  n{node} -> {node_name(lo)} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)

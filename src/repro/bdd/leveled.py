@@ -1,0 +1,190 @@
+"""Level-annotated structural view of one BDD (Definitions 1–7).
+
+The DDBDD dynamic program reasons about a single supernode BDD in purely
+structural terms: variable levels, node levels, cuts, cut sets
+``CS(u, l)`` and sub-BDDs ``Bs(u, l, v)``.  :class:`LeveledBDD` wraps one
+manager function and provides exactly those notions.
+
+Levels
+------
+The paper's Definition 1 assigns each variable the longest-path level at
+which it appears.  We use the (finer) *support index*: the position of
+the variable within the ordered support of the function.  Every cut that
+exists under Definition 1 also exists under support indexing, so the
+dynamic program searches a superset of the paper's cuts and can only do
+better; at the same time each variable gets a unique level, which is what
+Algorithm 4's cut-set recurrence implicitly assumes.  Terminal nodes sit
+at level ``depth`` (Definition 2).
+
+Nodes are referred to by their *manager* node ids; terminals are the
+manager's ``ZERO``/``ONE``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.bdd.manager import BDDManager
+
+
+class LeveledBDD:
+    """Structural view of the function ``root`` inside ``mgr``.
+
+    Attributes
+    ----------
+    depth:
+        Number of support variables (``n`` in the paper; the BDD depth).
+    support:
+        Variable id at each level, top first.
+    nodes:
+        All nonterminal node ids reachable from the root, in
+        deterministic (increasing level, then id) order.
+    """
+
+    def __init__(self, mgr: BDDManager, root: int) -> None:
+        self.mgr = mgr
+        self.root = root
+        self.support: List[int] = mgr.support_ordered(root)
+        self.depth: int = len(self.support)
+        self._level_of_var: Dict[int, int] = {v: i for i, v in enumerate(self.support)}
+        self.nodes: List[int] = sorted(
+            (n for n in mgr.reachable(root) if n > 1),
+            key=lambda n: (self._level_of_var[mgr.top_var(n)], n),
+        )
+        self._cs_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._cs_set_cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        self._bs_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Levels (Definitions 1 and 2)
+    # ------------------------------------------------------------------
+    def var_level(self, v: int) -> int:
+        """Level of a support variable."""
+        return self._level_of_var[v]
+
+    def level(self, node: int) -> int:
+        """Level of a node; terminals are at level ``depth``."""
+        if node <= 1:
+            return self.depth
+        return self._level_of_var[self.mgr.top_var(node)]
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= 1
+
+    def var_of(self, node: int) -> int:
+        """``V(u)``: the variable tested at ``node``."""
+        return self.mgr.top_var(node)
+
+    def t_child(self, node: int) -> int:
+        """``T(u)``: the 1-edge child."""
+        return self.mgr.hi(node)
+
+    def e_child(self, node: int) -> int:
+        """``E(u)``: the 0-edge child."""
+        return self.mgr.lo(node)
+
+    @property
+    def size(self) -> int:
+        """Nonterminal node count."""
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Cut sets (Definitions 3, 4, 6; Algorithm 4)
+    # ------------------------------------------------------------------
+    def cut_set(self, u: int, l: int) -> Tuple[int, ...]:
+        """``CS(u, l)``: cut set of sub-BDD(u) at relative level ``l``.
+
+        Computed by the incremental recurrence of Algorithm 4:
+        ``CS(u, 0) = {T(u), E(u)}``; for ``l > 0`` every node of
+        ``CS(u, l-1)`` whose level exceeds ``level(u) + l`` is kept, and
+        every other node is replaced by its two children.
+
+        The result is returned as a deterministic tuple sorted by
+        ``(level, node id)``.  ``l`` must satisfy
+        ``0 <= l <= depth - 1 - level(u)``.
+        """
+        key = (u, l)
+        hit = self._cs_cache.get(key)
+        if hit is not None:
+            return hit
+        if l == 0:
+            members = {self.t_child(u), self.e_child(u)}
+        else:
+            cut_abs = self.level(u) + l
+            members = set()
+            for v in self.cut_set(u, l - 1):
+                if self.level(v) > cut_abs:
+                    members.add(v)
+                else:
+                    members.add(self.t_child(v))
+                    members.add(self.e_child(v))
+        result = tuple(sorted(members, key=lambda n: (self.level(n), n)))
+        self._cs_cache[key] = result
+        self._cs_set_cache[key] = frozenset(result)
+        return result
+
+    def cut_set_contains(self, u: int, l: int, v: int) -> bool:
+        """Membership test ``v ∈ CS(u, l)`` (cached)."""
+        key = (u, l)
+        if key not in self._cs_set_cache:
+            self.cut_set(u, l)
+        return v in self._cs_set_cache[key]
+
+    def max_cut_level(self, u: int) -> int:
+        """Largest legal relative cut level of sub-BDD(u):
+        ``depth - level(u) - 1``."""
+        return self.depth - self.level(u) - 1
+
+    # ------------------------------------------------------------------
+    # Sub-BDD functions (Definitions 5 and 7)
+    # ------------------------------------------------------------------
+    def bs_function(self, u: int, l: int, v: int) -> int:
+        """The Boolean function of ``Bs(u, l, v)`` as a manager BDD.
+
+        ``Bs(u, l, v)`` keeps the structure of sub-BDD(u) above the cut
+        at relative level ``l`` and maps the cut-set node ``v`` to
+        terminal 1 and every other cut-set node to terminal 0.  The
+        returned function is expressed over the original variables.
+        """
+        cut_abs = self.level(u) + l
+        key = (u, cut_abs, v)
+        hit = self._bs_cache.get(key)
+        if hit is not None:
+            return hit
+        mgr = self.mgr
+        local: Dict[int, int] = {}
+
+        def walk(w: int) -> int:
+            if self.level(w) > cut_abs:
+                return mgr.ONE if w == v else mgr.ZERO
+            got = local.get(w)
+            if got is not None:
+                return got
+            x = mgr.top_var(w)
+            result = mgr.ite(mgr.var(x), walk(self.t_child(w)), walk(self.e_child(w)))
+            local[w] = result
+            return result
+
+        # The root itself must lie on or above the cut.
+        if self.level(u) > cut_abs:
+            raise ValueError("root below its own cut")
+        result = walk(u)
+        self._bs_cache[key] = result
+        return result
+
+    def function(self) -> int:
+        """The full function, equal to ``Bs(root, depth-1, ONE)``."""
+        return self.root
+
+    def sub_bdd_nodes(self, u: int) -> List[int]:
+        """Nonterminal nodes of sub-BDD(u) (Definition 5)."""
+        seen = set()
+        stack = [u]
+        while stack:
+            w = stack.pop()
+            if w <= 1 or w in seen:
+                continue
+            seen.add(w)
+            stack.append(self.t_child(w))
+            stack.append(self.e_child(w))
+        return sorted(seen, key=lambda n: (self.level(n), n))

@@ -1,0 +1,552 @@
+"""Hash-consed ROBDD manager.
+
+The manager owns a node store shared by every function it builds.  A BDD
+function is just an ``int`` node id; equality of ids is equality of
+functions (canonicity).  Node 0 is the constant FALSE terminal and node 1
+the constant TRUE terminal.
+
+Variables are identified by small integers in creation order.  Each
+manager carries a variable *order*: ``level_of(v)`` gives the level
+(position from the root) at which variable ``v`` appears.  All structural
+algorithms split on the variable of minimum level.  The order is fixed at
+construction time (pass ``order=`` or leave the identity); reordering is
+done by rebuilding into a fresh manager (:mod:`repro.bdd.reorder`), which
+keeps every previously returned node id valid.
+
+There are deliberately no complement edges: DDBDD's linear expansion is a
+statement about paths from the root to the *1 terminal*, which is only a
+structural notion when terminal polarity is explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+class BDDError(Exception):
+    """Base class for BDD package errors."""
+
+
+class NodeLimitExceeded(BDDError):
+    """Raised when a manager grows past its configured node limit."""
+
+
+class BDDManager:
+    """A store of ROBDD nodes with the classical operator suite.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables to pre-declare (more can be added later with
+        :meth:`add_var`).
+    var_names:
+        Optional human-readable names, used by printing/dot export.
+    order:
+        Optional permutation: ``order[k]`` is the variable placed at level
+        ``k``.  Defaults to the identity.
+    node_limit:
+        Hard cap on the node count; exceeded growth raises
+        :class:`NodeLimitExceeded`.  ``None`` means unlimited.
+    """
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(
+        self,
+        num_vars: int = 0,
+        var_names: Optional[Sequence[str]] = None,
+        order: Optional[Sequence[int]] = None,
+        node_limit: Optional[int] = None,
+    ) -> None:
+        # Parallel arrays indexed by node id.  Terminals occupy ids 0/1
+        # with a pseudo-variable of -1.
+        self._var: List[int] = [-1, -1]
+        self._lo: List[int] = [0, 1]
+        self._hi: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self.node_limit = node_limit
+
+        self._names: List[str] = []
+        self._level_of: List[int] = []
+        self._var_at_level: List[int] = []
+        for i in range(num_vars):
+            name = var_names[i] if var_names is not None else f"x{i}"
+            self._new_var_slot(name)
+        if order is not None:
+            self.set_order(order)
+
+    # ------------------------------------------------------------------
+    # Variables and order
+    # ------------------------------------------------------------------
+    def _new_var_slot(self, name: str) -> int:
+        v = len(self._names)
+        self._names.append(name)
+        self._level_of.append(v)
+        self._var_at_level.append(v)
+        return v
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable (appended at the bottom of the order)."""
+        return self._new_var_slot(name if name is not None else f"x{len(self._names)}")
+
+    def set_order(self, order: Sequence[int]) -> None:
+        """Set the variable order.  Only legal while no nodes exist yet."""
+        if len(self._var) > 2:
+            raise BDDError("cannot change the order of a populated manager")
+        if sorted(order) != list(range(self.num_vars)):
+            raise BDDError(f"order {order!r} is not a permutation of 0..{self.num_vars - 1}")
+        for level, v in enumerate(order):
+            self._level_of[v] = level
+            self._var_at_level[level] = v
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes ever created (including terminals and dead nodes)."""
+        return len(self._var)
+
+    def var_name(self, v: int) -> str:
+        return self._names[v]
+
+    def level_of(self, v: int) -> int:
+        return self._level_of[v]
+
+    def var_at_level(self, level: int) -> int:
+        return self._var_at_level[level]
+
+    @property
+    def order(self) -> List[int]:
+        """Variables from top (level 0) to bottom."""
+        return list(self._var_at_level)
+
+    # ------------------------------------------------------------------
+    # Node primitives
+    # ------------------------------------------------------------------
+    def var(self, v: int) -> int:
+        """Return the function of the single positive literal ``v``."""
+        return self._mk(v, self.ZERO, self.ONE)
+
+    def nvar(self, v: int) -> int:
+        """Return the function of the single negative literal ``¬v``."""
+        return self._mk(v, self.ONE, self.ZERO)
+
+    def _mk(self, v: int, lo: int, hi: int) -> int:
+        """Find-or-create the node ``(v, lo, hi)`` (with reduction)."""
+        if lo == hi:
+            return lo
+        key = (v, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            if self.node_limit is not None and node >= self.node_limit:
+                raise NodeLimitExceeded(f"manager exceeded {self.node_limit} nodes")
+            self._var.append(v)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = node
+        return node
+
+    def is_terminal(self, f: int) -> bool:
+        return f <= 1
+
+    def top_var(self, f: int) -> int:
+        """Variable tested at the root of ``f`` (-1 for terminals)."""
+        return self._var[f]
+
+    def lo(self, f: int) -> int:
+        """The 0-edge child (``E(u)`` in the paper)."""
+        return self._lo[f]
+
+    def hi(self, f: int) -> int:
+        """The 1-edge child (``T(u)`` in the paper)."""
+        return self._hi[f]
+
+    def node(self, f: int) -> Tuple[int, int, int]:
+        """Return ``(var, lo, hi)`` of node ``f``."""
+        return (self._var[f], self._lo[f], self._hi[f])
+
+    def _level(self, f: int) -> int:
+        """Level of the variable at the root of ``f``; +inf for terminals."""
+        if f <= 1:
+            return len(self._names) + 1
+        return self._level_of[self._var[f]]
+
+    # ------------------------------------------------------------------
+    # ITE and Boolean connectives
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g ∨ ¬f·h``.  The universal connective."""
+        # Terminal short circuits.
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == self.ONE and h == self.ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(f), self._level(g), self._level(h))
+        v = self._var_at_level[level]
+        f0, f1 = self._cofactors_at(f, v, level)
+        g0, g1 = self._cofactors_at(g, v, level)
+        h0, h1 = self._cofactors_at(h, v, level)
+        lo = self.ite(f0, g0, h0)
+        hi = self.ite(f1, g1, h1)
+        result = self._mk(v, lo, hi)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors_at(self, f: int, v: int, level: int) -> Tuple[int, int]:
+        """Shannon cofactors of ``f`` w.r.t. ``v``, given ``level_of(v)``."""
+        if self._level(f) == level and self._var[f] == v:
+            return self._lo[f], self._hi[f]
+        return f, f
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.negate(g), g)
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.negate(g))
+
+    def negate(self, f: int) -> int:
+        """Complement of ``f`` (O(|f|); there are no complement edges)."""
+        if f == self.ZERO:
+            return self.ONE
+        if f == self.ONE:
+            return self.ZERO
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(self._var[f], self.negate(self._lo[f]), self.negate(self._hi[f]))
+        self._not_cache[f] = result
+        # Complement is an involution: seed the reverse entry too.
+        self._not_cache[result] = f
+        return result
+
+    def apply_many(self, op: str, funcs: Sequence[int]) -> int:
+        """Fold ``op`` ('and'/'or'/'xor') over ``funcs``."""
+        if op == "and":
+            acc = self.ONE
+            for f in funcs:
+                acc = self.apply_and(acc, f)
+            return acc
+        if op == "or":
+            acc = self.ZERO
+            for f in funcs:
+                acc = self.apply_or(acc, f)
+            return acc
+        if op == "xor":
+            acc = self.ZERO
+            for f in funcs:
+                acc = self.apply_xor(acc, f)
+            return acc
+        raise BDDError(f"unknown n-ary operator {op!r}")
+
+    # ------------------------------------------------------------------
+    # Cofactor / compose / quantification
+    # ------------------------------------------------------------------
+    def cofactor(self, f: int, v: int, value: bool) -> int:
+        """Restrict: ``f`` with variable ``v`` fixed to ``value``."""
+        target_level = self._level_of[v]
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            lvl = self._level_of[self._var[node]]
+            if lvl > target_level:
+                return node
+            got = cache.get(node)
+            if got is not None:
+                return got
+            if lvl == target_level:
+                result = self._hi[node] if value else self._lo[node]
+            else:
+                result = self._mk(self._var[node], walk(self._lo[node]), walk(self._hi[node]))
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def compose(self, f: int, v: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``v`` inside ``f``."""
+        return self.ite(g, self.cofactor(f, v, True), self.cofactor(f, v, False))
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification over ``variables``."""
+        result = f
+        for v in variables:
+            result = self.apply_or(self.cofactor(result, v, True), self.cofactor(result, v, False))
+        return result
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universal quantification over ``variables``."""
+        result = f
+        for v in variables:
+            result = self.apply_and(self.cofactor(result, v, True), self.cofactor(result, v, False))
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def support(self, f: int) -> Set[int]:
+        """Set of variables ``f`` explicitly depends on."""
+        seen: Set[int] = set()
+        vars_found: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            vars_found.add(self._var[node])
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return vars_found
+
+    def support_ordered(self, f: int) -> List[int]:
+        """Support variables, top of the order first."""
+        return sorted(self.support(f), key=lambda v: self._level_of[v])
+
+    def count_nodes(self, f: int) -> int:
+        """Number of nodes reachable from ``f``, including terminals."""
+        return len(self.reachable(f))
+
+    def count_nodes_multi(self, roots: Iterable[int]) -> int:
+        """Shared node count of several roots, including terminals."""
+        seen: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > 1:
+                stack.append(self._lo[node])
+                stack.append(self._hi[node])
+        return len(seen)
+
+    def reachable(self, f: int) -> Set[int]:
+        """All node ids reachable from ``f`` (terminals included)."""
+        seen: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > 1:
+                stack.append(self._lo[node])
+                stack.append(self._hi[node])
+        return seen
+
+    def eval(self, f: int, assignment) -> bool:
+        """Evaluate ``f`` under ``assignment`` (dict var→bool or sequence)."""
+        node = f
+        while node > 1:
+            v = self._var[node]
+            value = assignment[v]
+            node = self._hi[node] if value else self._lo[node]
+        return node == self.ONE
+
+    def sat_count(self, f: int, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        if num_vars is None:
+            num_vars = self.num_vars
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> Tuple[int, int]:
+            # Returns (count, level) where count is over vars below `level`.
+            if node == self.ZERO:
+                return 0, num_vars
+            if node == self.ONE:
+                return 1, num_vars
+            if node in cache:
+                count = cache[node]
+            else:
+                c0, l0 = walk(self._lo[node])
+                c1, l1 = walk(self._hi[node])
+                my_level = self._level_of[self._var[node]]
+                count = c0 * (1 << (l0 - my_level - 1)) + c1 * (1 << (l1 - my_level - 1))
+                cache[node] = count
+            return count, self._level_of[self._var[node]]
+
+        count, level = walk(f)
+        return count * (1 << level)
+
+    def one_sat(self, f: int) -> Optional[Dict[int, bool]]:
+        """A satisfying assignment of ``f`` or ``None`` if unsatisfiable."""
+        if f == self.ZERO:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = f
+        while node > 1:
+            if self._hi[node] != self.ZERO:
+                assignment[self._var[node]] = True
+                node = self._hi[node]
+            else:
+                assignment[self._var[node]] = False
+                node = self._lo[node]
+        return assignment
+
+    def iter_nodes(self, f: int) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield ``(id, var, lo, hi)`` of every nonterminal under ``f``."""
+        for node in sorted(self.reachable(f)):
+            if node > 1:
+                yield node, self._var[node], self._lo[node], self._hi[node]
+
+    # ------------------------------------------------------------------
+    # Transfer between managers
+    # ------------------------------------------------------------------
+    def transfer(self, f: int, other: "BDDManager", var_map: Optional[Dict[int, int]] = None) -> int:
+        """Rebuild ``f`` inside ``other``.
+
+        ``var_map`` maps this manager's variables to ``other``'s variables
+        (identity by default).  The destination order may differ from the
+        source order; the rebuild is done by Shannon expansion on the
+        destination's top remaining variable, so the result is canonical
+        under the destination order.
+        """
+        if var_map is None:
+            var_map = {v: v for v in self.support(f)}
+        src_vars = self.support_ordered(f)
+        dst_levels = sorted(
+            ((other.level_of(var_map[v]), v) for v in src_vars), key=lambda t: t[0]
+        )
+        dst_order_src_vars = [v for _, v in dst_levels]
+        cache: Dict[Tuple[int, int], int] = {}
+
+        def build(node: int, depth: int) -> int:
+            if node == self.ZERO:
+                return other.ZERO
+            if node == self.ONE:
+                return other.ONE
+            key = (node, depth)
+            got = cache.get(key)
+            if got is not None:
+                return got
+            src_v = dst_order_src_vars[depth]
+            hi = build(self.cofactor(node, src_v, True), depth + 1)
+            lo = build(self.cofactor(node, src_v, False), depth + 1)
+            result = other._mk(var_map[src_v], lo, hi)
+            cache[key] = result
+            return result
+
+        return build(f, 0)
+
+    # ------------------------------------------------------------------
+    # In-place reordering support (Rudell sifting)
+    # ------------------------------------------------------------------
+    def swap_adjacent_levels(self, level: int, nodes: Optional[Iterable[int]] = None) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Implements the classical adjacent-variable swap: every node
+        testing the upper variable ``x`` whose children test the lower
+        variable ``y`` is rewritten (in place, so all node ids keep
+        their functions) to test ``y`` with freshly hashed ``x``
+        children; other nodes move levels implicitly.  All caches are
+        dropped.  Intended for single-function managers during sifting
+        (:func:`repro.bdd.reorder.sift_inplace`).
+
+        ``nodes``, when given, restricts the rewrite to that candidate
+        id set (pass the nodes reachable from the function being
+        sifted; dead nodes then keep stale structure, which is harmless
+        because no valid operation can re-request their unique-table
+        keys).  Without it, every node in the manager is rewritten.
+        """
+        x = self._var_at_level[level]
+        y = self._var_at_level[level + 1]
+        pool = range(2, len(self._var)) if nodes is None else nodes
+        xs = [n for n in pool if n > 1 and self._var[n] == x]
+        for n in xs:
+            lo, hi = self._lo[n], self._hi[n]
+            lo_tests_y = lo > 1 and self._var[lo] == y
+            hi_tests_y = hi > 1 and self._var[hi] == y
+            if not lo_tests_y and not hi_tests_y:
+                continue  # independent of y: moves down a level as-is
+            f11 = self._hi[hi] if hi_tests_y else hi
+            f10 = self._lo[hi] if hi_tests_y else hi
+            f01 = self._hi[lo] if lo_tests_y else lo
+            f00 = self._lo[lo] if lo_tests_y else lo
+            del self._unique[(x, lo, hi)]
+            new_hi = self._mk(x, f01, f11)
+            new_lo = self._mk(x, f00, f10)
+            # n becomes ite(y, new_hi, new_lo); hi' == lo' cannot happen
+            # for a reduced node (see tests), so n stays a real node.
+            self._var[n] = y
+            self._lo[n] = new_lo
+            self._hi[n] = new_hi
+            self._unique[(y, new_lo, new_hi)] = n
+        self._var_at_level[level] = y
+        self._var_at_level[level + 1] = x
+        self._level_of[x] = level + 1
+        self._level_of[y] = level
+        self.clear_caches()
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop operation caches (unique table is kept)."""
+        self._ite_cache.clear()
+        self._not_cache.clear()
+
+    def compact(self, roots: Sequence[int]) -> Tuple["BDDManager", List[int]]:
+        """Garbage-collect: rebuild only the given roots in a fresh
+        manager (same variables, names, and order).  Long-running
+        construction (e.g. iterated collapsing) accumulates dead nodes;
+        this reclaims them.  Returns ``(new_manager, new_roots)`` —
+        previously held node ids are only valid in the old manager."""
+        fresh = BDDManager(
+            self.num_vars,
+            var_names=[self.var_name(v) for v in range(self.num_vars)],
+            order=self.order,
+            node_limit=self.node_limit,
+        )
+        new_roots = [self.transfer(r, fresh) for r in roots]
+        return fresh, new_roots
+
+    def live_nodes(self, roots: Sequence[int]) -> int:
+        """Shared node count reachable from ``roots`` (vs ``num_nodes``,
+        which includes garbage)."""
+        return self.count_nodes_multi(roots)
+
+    def from_truth_table(self, bits: Sequence[int], variables: Sequence[int]) -> int:
+        """Build a function from a truth table.
+
+        ``bits[i]`` is the output for the input assignment whose bit ``k``
+        (LSB-first over ``variables``) gives the value of
+        ``variables[k]``.
+        """
+        n = len(variables)
+        if len(bits) != (1 << n):
+            raise BDDError("truth table length must be 2**len(variables)")
+        result = self.ZERO
+        for i, bit in enumerate(bits):
+            if not bit:
+                continue
+            term = self.ONE
+            for k, v in enumerate(variables):
+                lit = self.var(v) if (i >> k) & 1 else self.nvar(v)
+                term = self.apply_and(term, lit)
+            result = self.apply_or(result, term)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BDDManager vars={self.num_vars} nodes={self.num_nodes}>"

@@ -1,0 +1,134 @@
+"""Variable reordering.
+
+DDBDD reorders the BDD of every supernode before running the synthesis
+dynamic program ("reduce the size of the BDD by a reordering
+algorithm", Algorithm 3, citing Rudell's sifting [18]).  Two engines:
+
+* :func:`sift_inplace` — classical Rudell sifting using in-place
+  adjacent-level swaps (:meth:`BDDManager.swap_adjacent_levels`):
+  each variable is moved through every position and parked where the
+  shared node count is smallest.  O(n²·w) where w is a level width —
+  fast enough for the ≤200-node supernode BDDs even with dozens of
+  support variables.  Requires a *private* manager holding only the
+  function being sifted (in-place rewriting invalidates no ids, but
+  the level moves are global to the manager).
+* :func:`exhaustive_reorder` — all permutations, for tiny supports and
+  for cross-checking sifting in tests.
+
+All entry points return ``(manager, function, order)``; the manager is
+fresh (the caller's manager is never mutated).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import BDDManager
+
+
+def _rebuild(
+    mgr: BDDManager, f: int, order: Sequence[int]
+) -> Tuple[BDDManager, int]:
+    """Rebuild ``f`` in a fresh manager whose level order is ``order``.
+
+    ``order`` lists *source-manager* variable ids, top level first; it
+    must cover at least the support of ``f``.  The new manager reuses
+    the same variable ids and names as the source.
+    """
+    new_order = list(order) + [v for v in range(mgr.num_vars) if v not in set(order)]
+    names = [mgr.var_name(v) for v in range(mgr.num_vars)]
+    fresh = BDDManager(mgr.num_vars, var_names=names, order=new_order)
+    g = mgr.transfer(f, fresh)
+    return fresh, g
+
+
+def reorder_for_size(
+    mgr: BDDManager, f: int, effort: str = "sift"
+) -> Tuple[BDDManager, int, List[int]]:
+    """Minimize the node count of ``f`` by reordering its support.
+
+    ``effort`` is ``"none"``, ``"sift"`` or ``"exact"`` (exhaustive,
+    only sensible for supports of ≤ 7 variables; larger supports fall
+    back to sifting).  Always returns a fresh manager.
+    """
+    support = mgr.support_ordered(f)
+    if effort == "none" or len(support) <= 1:
+        fresh, g = _rebuild(mgr, f, support)
+        return fresh, g, support
+    if effort == "exact" and len(support) <= 7:
+        return exhaustive_reorder(mgr, f)
+    if effort not in ("sift", "exact"):
+        raise ValueError(f"unknown reorder effort {effort!r}")
+    return sift(mgr, f)
+
+
+def sift(mgr: BDDManager, f: int) -> Tuple[BDDManager, int, List[int]]:
+    """Rudell sifting of ``f``; returns a fresh, compacted manager."""
+    support = mgr.support_ordered(f)
+    work_mgr, work_f = _rebuild(mgr, f, support)
+    sift_inplace(work_mgr, work_f, num_support=len(support))
+    # Compact: drop the garbage nodes sifting left behind.
+    final_order = [v for v in work_mgr.order if v in set(support)]
+    final_mgr, final_f = _rebuild(work_mgr, work_f, final_order)
+    return final_mgr, final_f, final_order
+
+
+def sift_inplace(mgr: BDDManager, root: int, num_support: Optional[int] = None) -> int:
+    """Sift the top ``num_support`` levels of a private manager in
+    place; returns the final shared node count of ``root``.
+
+    Every id reachable from ``root`` keeps its function throughout.
+    """
+    n = num_support if num_support is not None else mgr.num_vars
+    if n <= 1:
+        return mgr.count_nodes(root)
+    best_size = mgr.count_nodes(root)
+    # Sift variables in decreasing occupancy (Rudell's priority).
+    occupancy: Dict[int, int] = {}
+    for _, var, _, _ in mgr.iter_nodes(root):
+        occupancy[var] = occupancy.get(var, 0) + 1
+    priority = sorted(
+        (mgr.var_at_level(l) for l in range(n)),
+        key=lambda v: -occupancy.get(v, 0),
+    )
+    def swap(pos: int) -> int:
+        live = mgr.reachable(root)
+        mgr.swap_adjacent_levels(pos, nodes=live)
+        return mgr.count_nodes(root)
+
+    for v in priority:
+        start = mgr.level_of(v)
+        best_pos = start
+        # Move to the bottom of the sifted region...
+        pos = start
+        while pos < n - 1:
+            size = swap(pos)
+            pos += 1
+            if size < best_size:
+                best_size, best_pos = size, pos
+        # ...then to the top...
+        while pos > 0:
+            size = swap(pos - 1)
+            pos -= 1
+            if size < best_size:
+                best_size, best_pos = size, pos
+        # ...and back down to the best position seen.
+        while pos < best_pos:
+            swap(pos)
+            pos += 1
+    return mgr.count_nodes(root)
+
+
+def exhaustive_reorder(mgr: BDDManager, f: int) -> Tuple[BDDManager, int, List[int]]:
+    """Try every permutation of the support (exact minimum size)."""
+    support = mgr.support_ordered(f)
+    best: Optional[Tuple[int, Tuple[int, ...]]] = None
+    for perm in permutations(support):
+        cand_mgr, cand_f = _rebuild(mgr, f, perm)
+        size = cand_mgr.count_nodes(cand_f)
+        if best is None or size < best[0]:
+            best = (size, perm)
+    assert best is not None
+    final_mgr, final_f = _rebuild(mgr, f, list(best[1]))
+    return final_mgr, final_f, list(best[1])

@@ -1,0 +1,56 @@
+"""Synthetic benchmark circuits (the MCNC-suite substitute).
+
+The MCNC benchmarks the paper uses are not redistributable here, so
+:mod:`repro.benchgen.generators` provides seeded generators for the
+three circuit families the paper's analysis distinguishes —
+control/random logic (PLA-style covers, FSM next-state logic),
+XOR-intensive logic (parity, symmetric functions), and datapath
+(adders, ALUs, multipliers, comparators) — and
+:mod:`repro.benchgen.suites` names concrete instances standing in for
+each benchmark of Tables I/III/IV/V.  See DESIGN.md for why this
+substitution preserves the experiments' discriminative power.
+"""
+
+from repro.benchgen.generators import (
+    pla_block,
+    fsm_logic,
+    parity_tree,
+    symmetric_function,
+    random_logic,
+    ripple_adder,
+    alu,
+    array_multiplier,
+    comparator,
+    decoder,
+    mux_tree,
+    counter_increment,
+)
+from repro.benchgen.suites import (
+    build_circuit,
+    CIRCUITS,
+    TABLE1_SUITE,
+    TABLE3_SUITE,
+    TABLE4_SUITE,
+    TABLE5_SUITE,
+)
+
+__all__ = [
+    "pla_block",
+    "fsm_logic",
+    "parity_tree",
+    "symmetric_function",
+    "random_logic",
+    "ripple_adder",
+    "alu",
+    "array_multiplier",
+    "comparator",
+    "decoder",
+    "mux_tree",
+    "counter_increment",
+    "build_circuit",
+    "CIRCUITS",
+    "TABLE1_SUITE",
+    "TABLE3_SUITE",
+    "TABLE4_SUITE",
+    "TABLE5_SUITE",
+]

@@ -1,0 +1,180 @@
+"""Command-line interface: ``ddbdd <command> ...``.
+
+Subcommands
+-----------
+``synth``    — synthesize a BLIF file (or named benchmark) with any of
+               the four flows and report depth/area; optionally write
+               the mapped network back to BLIF and verify equivalence.
+``bench``    — list the named benchmark circuits.
+``table``    — regenerate one of the paper's tables (1–5) or the
+               Theorem-1 scaling study.
+``vpr``      — run the VPR-like flow on a mapped BLIF file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.baselines import abc_flow, bdspga_synthesize, sis_daomap_flow
+from repro.benchgen import CIRCUITS, build_circuit
+from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.network import check_equivalence, read_blif, write_blif
+from repro.vpr import Architecture, vpr_flow
+
+
+def _load(source: str):
+    if source in CIRCUITS:
+        return build_circuit(source)
+    if source.endswith((".v", ".sv")):
+        from repro.network.verilog import read_verilog
+
+        return read_verilog(source)
+    return read_blif(source)
+
+
+def _save(net, path: str) -> None:
+    if path.endswith((".v", ".sv")):
+        from repro.network.verilog import write_verilog
+
+        write_verilog(net, path)
+    else:
+        write_blif(net, path)
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    net = _load(args.circuit)
+    config = DDBDDConfig(k=args.k, collapse=not args.no_collapse)
+    if args.flow == "ddbdd":
+        result = ddbdd_synthesize(net, config)
+    elif args.flow == "bdspga":
+        result = bdspga_synthesize(net)
+    elif args.flow == "sis-daomap":
+        result = sis_daomap_flow(net, k=args.k)
+    else:
+        result = abc_flow(net, k=args.k)
+    print(f"{args.flow}: depth={result.depth} area={result.area} LUTs (K={args.k})")
+    if args.verify:
+        eq = check_equivalence(net, result.network)
+        print(f"equivalence: {'PASS' if eq.equivalent else 'FAIL'} ({eq.method})")
+        if not eq.equivalent:
+            return 1
+    if args.output:
+        _save(result.network, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    for name in sorted(CIRCUITS):
+        net = build_circuit(name)
+        s = net.stats()
+        print(
+            f"{name:10s} {CIRCUITS[name]:9s} pi={s['pis']:3d} po={s['pos']:3d} "
+            f"nodes={s['nodes']:4d} depth={s['depth']:3d}"
+        )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    runner = {
+        "1": experiments.run_table1,
+        "2": experiments.run_table2,
+        "3": experiments.run_table3,
+        "4": experiments.run_table4,
+        "5": experiments.run_table5,
+        "scaling": experiments.run_scaling,
+    }[args.which]
+    result = runner()
+    print(result.render())
+    return 0
+
+
+def _cmd_vpr(args: argparse.Namespace) -> int:
+    net = _load(args.circuit)
+    if net.max_fanin() > args.k:
+        net = ddbdd_synthesize(net, DDBDDConfig(k=args.k)).network
+        print("(input was unmapped; synthesized with DDBDD first)")
+    result = vpr_flow(net, Architecture(k=args.k), seed=args.seed)
+    print(
+        f"luts={result.num_luts} clusters={result.num_clusters} grid={result.grid}x{result.grid} "
+        f"minW={result.min_channel_width} routedW={result.routed_channel_width} "
+        f"critical_path={result.critical_path_ns:.2f}ns wirelength={result.total_wirelength}"
+    )
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="ddbdd", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="synthesize a circuit")
+    p.add_argument("circuit", help="BLIF path or named benchmark")
+    p.add_argument("--flow", choices=["ddbdd", "bdspga", "sis-daomap", "abc"], default="ddbdd")
+    p.add_argument("-k", type=int, default=5, help="LUT input size")
+    p.add_argument("--no-collapse", action="store_true", help="skip Algorithm 2")
+    p.add_argument("--verify", action="store_true", help="check equivalence")
+    p.add_argument("-o", "--output", help="write mapped BLIF here")
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("bench", help="list named benchmark circuits")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("which", choices=["1", "2", "3", "4", "5", "scaling"])
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("vpr", help="pack/place/route a mapped circuit")
+    p.add_argument("circuit", help="BLIF path or named benchmark")
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_vpr)
+
+    p = sub.add_parser("equiv", help="check two circuits for equivalence")
+    p.add_argument("circuit_a", help="BLIF path or named benchmark")
+    p.add_argument("circuit_b", help="BLIF path or named benchmark")
+    p.set_defaults(func=_cmd_equiv)
+
+    p = sub.add_parser("stats", help="print circuit statistics")
+    p.add_argument("circuit", help="BLIF path or named benchmark")
+    p.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    from repro.network.netlist import NetworkError
+
+    a = _load(args.circuit_a)
+    b = _load(args.circuit_b)
+    try:
+        eq = check_equivalence(a, b)
+    except NetworkError as exc:
+        print(f"interface mismatch: {exc}")
+        return 2
+    if eq.equivalent:
+        print(f"EQUIVALENT ({eq.method})")
+        return 0
+    print(f"NOT EQUIVALENT: output {eq.failing_output} differs; "
+          f"counterexample {eq.counterexample}")
+    return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    net = _load(args.circuit)
+    s = net.stats()
+    print(f"name:      {net.name}")
+    print(f"inputs:    {s['pis']}")
+    print(f"outputs:   {s['pos']}")
+    print(f"nodes:     {s['nodes']}")
+    print(f"max fanin: {s['max_fanin']}")
+    print(f"depth:     {s['depth']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""DDBDD core: delay-driven BDD synthesis (the paper's contribution).
+
+* :mod:`repro.core.config` — all tunables with the paper's defaults.
+* :mod:`repro.core.binpack` — depth-grouped bin packing used by
+  ``delayDecompose`` (Algorithm 5, Figs. 11–12).
+* :mod:`repro.core.linear` — linear expansion gate enumeration and
+  special-decomposition detection (Sec. II-B, III-B2/3).
+* :mod:`repro.core.dp` — the dynamic program over sub-BDDs
+  ``Bs(u, l, v)`` (Algorithm 3) plus LUT-network emission.
+* :mod:`repro.core.collapse` — gain-based clustering and partial
+  collapsing (Algorithm 2).
+* :mod:`repro.core.ddbdd` — the end-to-end flow (Algorithm 1).
+"""
+
+from repro.core.config import DDBDDConfig
+from repro.core.binpack import Box, PackedBin, pack_or_gates, first_fit_decreasing
+from repro.core.collapse import partial_collapse, CollapseStats
+from repro.core.dp import BDDSynthesizer, SupernodeResult
+from repro.core.ddbdd import ddbdd_synthesize, SynthesisResult
+
+__all__ = [
+    "DDBDDConfig",
+    "Box",
+    "PackedBin",
+    "pack_or_gates",
+    "first_fit_decreasing",
+    "partial_collapse",
+    "CollapseStats",
+    "BDDSynthesizer",
+    "SupernodeResult",
+    "ddbdd_synthesize",
+    "SynthesisResult",
+]

@@ -1,0 +1,96 @@
+"""Depth-grouped bin packing (Algorithm 5's OR-gate decomposition).
+
+Linear expansion turns a sub-BDD into a wide OR of small AND gates whose
+inputs arrive at different mapping depths.  Algorithm 5 decomposes that
+OR into K-input LUT cells by:
+
+1. grouping the AND gates by the mapping depth of their inputs;
+2. processing groups in increasing depth, first-fit-decreasing packing
+   each group's gates (box size = gate input count) into bins of size K;
+3. turning every bin into an OR LUT whose output — a "buffer" box of
+   size 1 — joins the group one depth level up;
+4. stopping when a group packs into a single bin and no deeper group
+   remains; that bin is the output LUT and the mapping depth is the
+   group depth plus one.
+
+Francis et al. showed this scheme is depth-optimal for K ≤ 6 [21], [22].
+Figure 12 of the paper is reproduced verbatim in the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass
+class Box:
+    """One packable item: an AND gate (or buffer) with known input depth.
+
+    ``size`` is the gate's input count (2 for a binary AND from linear
+    expansion, 1 for a degenerate AND/buffer).  ``payload`` is opaque to
+    the packer; emission uses it to rebuild functions.
+    """
+
+    depth: int
+    size: int
+    payload: Any
+
+
+@dataclass
+class PackedBin:
+    """A bin = one K-input LUT computing the OR of its items.
+
+    ``items`` holds the original boxes; a box whose payload is itself a
+    :class:`PackedBin` is a buffer of a previously created OR LUT.  The
+    LUT's inputs settle at ``depth`` and its output at ``depth + 1``.
+    """
+
+    depth: int
+    items: List[Box] = field(default_factory=list)
+
+    @property
+    def used(self) -> int:
+        return sum(b.size for b in self.items)
+
+
+def first_fit_decreasing(boxes: List[Box], k: int) -> List[PackedBin]:
+    """Pack ``boxes`` (all of one depth group) into bins of capacity
+    ``k``, first-fit over boxes sorted by decreasing size."""
+    bins: List[PackedBin] = []
+    for box in sorted(boxes, key=lambda b: (-b.size,)):
+        if box.size > k:
+            raise ValueError(f"box of size {box.size} cannot fit a {k}-input LUT")
+        for bin_ in bins:
+            if bin_.used + box.size <= k:
+                bin_.items.append(box)
+                break
+        else:
+            bins.append(PackedBin(box.depth, [box]))
+    return bins
+
+
+def pack_or_gates(boxes: List[Box], k: int) -> Tuple[int, PackedBin, List[PackedBin]]:
+    """Run Algorithm 5's packing loop.
+
+    Returns ``(mapping_depth, output_bin, all_bins)`` where
+    ``mapping_depth`` is the depth of the OR's output LUT and
+    ``all_bins`` lists every LUT created (output bin last) — the LUT
+    count of the decomposition is ``len(all_bins)``.
+    """
+    if not boxes:
+        raise ValueError("cannot pack an empty gate list")
+    groups: Dict[int, List[Box]] = {}
+    for box in boxes:
+        groups.setdefault(box.depth, []).append(box)
+    created: List[PackedBin] = []
+    while True:
+        d = min(groups)
+        group = groups.pop(d)
+        bins = first_fit_decreasing(group, k)
+        if len(bins) == 1 and not groups:
+            created.append(bins[0])
+            return d + 1, bins[0], created
+        for bin_ in bins:
+            created.append(bin_)
+            groups.setdefault(d + 1, []).append(Box(d + 1, 1, bin_))

@@ -1,0 +1,100 @@
+"""DDBDD configuration.
+
+Defaults follow the paper's experimental setup (Sec. III-A, III-B, IV):
+K = 5 LUTs, BDD size bound 200, α = 3, β = 0.5, γ = 0.5, cut-size
+pruning threshold 15, size-reducing reordering before each supernode's
+dynamic program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DDBDDConfig:
+    """All tunables of the DDBDD flow.
+
+    Attributes
+    ----------
+    k:
+        LUT input size (paper uses 5).
+    size_bound:
+        Maximum merged-BDD node count allowed by ``mergable``
+        (paper: 200; "the node size bound is only for the
+        runtime/quality tradeoff").
+    alpha:
+        Merged-size slack in ``mergable``: require
+        ``n < (n1 + n2) * (1 + alpha)`` (paper: 3).
+    beta, gamma:
+        Gain-formula weights for fanin depth and fanout count
+        (paper: 0.5 and 0.5).
+    thresh:
+        Cut sets larger than this are not tried by the dynamic program
+        (paper: 15; "large cuts generally do not produce good
+        decompositions").
+    support_bound:
+        Maximum *input count* of a merged supernode.  The paper only
+        bounds BDD size (200) and observes that supernodes stay below
+        ~20 inputs on its benchmarks; sparse functions (wide ORs) can
+        satisfy the size bound with far larger supports, which pushes
+        the dynamic program out of its effective regime, so we bound
+        support explicitly.  Set ``None`` to disable (paper-literal
+        behaviour).
+    reorder_effort:
+        ``"none"``, ``"auto"``, ``"sift"`` or ``"exact"``.  ``"auto"``
+        sifts only BDDs big enough for it to matter; Algorithm 3 always
+        reorders, so ``"sift"`` is the faithful setting and ``"auto"``
+        the fast default with near-identical results.
+    use_special_decompositions:
+        Detect AND/OR/MUX/XNOR decompositions (Sec. III-B3).  Off is an
+        ablation: pure linear expansion.
+    collapse:
+        Run Algorithm 2 before synthesis.  Off reproduces the
+        "without collapsing" rows of Table I.
+    max_collapse_iterations:
+        Safety cap on Algorithm 2's outer loop (the paper's loop ends
+        when no mergable pair remains; this bound is never hit in
+        practice).
+    final_packing:
+        Cover the emitted gate network with K-LUT cells after synthesis
+        (the paper's "map all the gates to cells implementable by
+        K-LUTs"): adjacent shallow gates that fit one LUT are merged
+        when that lowers a level or is area-free.  Off is an ablation.
+    timing_aware_reorder:
+        *Extension* (the paper's stated future work): after size
+        sifting, sink late-arriving variables toward the bottom of the
+        order so the DP can split them off shallowly.  Off by default
+        to keep the paper-faithful flow.
+    area_recovery:
+        *Extension* (the paper's stated future work): after depth is
+        final, spend positive slack merging non-critical LUTs to
+        recover area.  Off by default.
+    verify:
+        Check each supernode's emitted sub-network against its BDD
+        function during synthesis (cheap; keeps the flow honest).
+    """
+
+    k: int = 5
+    size_bound: int = 200
+    alpha: float = 3.0
+    beta: float = 0.5
+    gamma: float = 0.5
+    thresh: int = 15
+    support_bound: int = 20
+    reorder_effort: str = "auto"
+    use_special_decompositions: bool = True
+    collapse: bool = True
+    max_collapse_iterations: int = 1000
+    final_packing: bool = True
+    timing_aware_reorder: bool = False
+    area_recovery: bool = False
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError("LUT size k must be at least 2")
+        if self.thresh < 2:
+            raise ValueError("cut-size threshold must be at least 2")
+        if self.reorder_effort not in ("none", "auto", "sift", "exact"):
+            raise ValueError(f"unknown reorder effort {self.reorder_effort!r}")

@@ -1,0 +1,174 @@
+"""The complete DDBDD flow (Algorithm 1).
+
+1. Sweep the input network (constants, buffers, dangling logic).
+2. Collapse it into supernodes with Algorithm 2 (unless disabled).
+3. Visit supernodes in topological order; for each, run the Algorithm 3
+   dynamic program with the already-known mapping depths of its fanins,
+   and emit the best decomposition as K-LUT cells into the output
+   network.
+4. Bind primary outputs (inserting an inverter LUT only in the rare
+   case a PO needs the complement of a shared signal).
+
+The result is a K-feasible LUT network: its unit-delay depth is the
+paper's "mapping depth" and its node count the paper's "area" (number
+of LUTs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.collapse import CollapseStats, partial_collapse
+from repro.core.config import DDBDDConfig
+from repro.core.dp import BDDSynthesizer, SupernodeResult
+from repro.network.depth import network_depth, topological_order
+from repro.network.netlist import BooleanNetwork
+from repro.network.transform import sweep
+
+
+@dataclass
+class SynthesisResult:
+    """Output of the DDBDD flow."""
+
+    network: BooleanNetwork
+    depth: int
+    area: int
+    po_depths: Dict[str, int]
+    collapse_stats: Optional[CollapseStats]
+    supernodes: List[SupernodeResult]
+    runtime_s: float
+    config: DDBDDConfig
+
+    def summary(self) -> str:
+        return (
+            f"{self.network.name}: depth={self.depth} area={self.area} "
+            f"supernodes={len(self.supernodes)} runtime={self.runtime_s:.2f}s"
+        )
+
+
+def ddbdd_synthesize(
+    net: BooleanNetwork, config: Optional[DDBDDConfig] = None
+) -> SynthesisResult:
+    """Synthesize ``net`` into a K-LUT network optimized for depth."""
+    config = config or DDBDDConfig()
+    start = time.perf_counter()
+
+    work = net.copy(net.name + "_work")
+    sweep(work)
+    collapse_stats: Optional[CollapseStats] = None
+    if config.collapse:
+        collapse_stats = partial_collapse(work, config)
+
+    mapped = BooleanNetwork(net.name + "_ddbdd")
+    for pi in net.pis:
+        mapped.add_pi(pi)
+
+    # resolve: supernode/PI signal -> (signal in `mapped`, negated, depth).
+    resolve: Dict[str, Tuple[str, bool, int]] = {pi: (pi, False, 0) for pi in work.pis}
+    # Signals visible outside their own supernode emission; a root LUT
+    # may only absorb a complement when it is NOT one of these (flipping
+    # a shared LUT would corrupt its other consumers).
+    external: set = set(work.pis)
+    supernode_results: List[SupernodeResult] = []
+
+    for name in topological_order(work):
+        node = work.nodes[name]
+        mgr = work.mgr
+        func = node.func
+        if mgr.is_terminal(func):
+            # Constant supernode: a zero-input LUT at depth 0.
+            const_name = mapped.fresh_name(f"{name}_const")
+            mapped.add_node_function(const_name, [], mapped.mgr.ONE if func == mgr.ONE else mapped.mgr.ZERO)
+            resolve[name] = (const_name, False, 0)
+            external.add(const_name)
+            continue
+        lit = _as_literal(work, node)
+        if lit is not None:
+            src, negated = lit
+            base, base_neg, d = resolve[src]
+            resolve[name] = (base, base_neg ^ negated, d)
+            continue
+
+        input_delays = {work.var_of(f): resolve[f][2] for f in node.fanins}
+        leaf_signals = {work.var_of(f): resolve[f] for f in node.fanins}
+        synth = BDDSynthesizer(mgr, func, input_delays, config)
+        result = synth.emit(mapped, leaf_signals, prefix=name)
+        sig, neg, depth = result.signal, result.negated, result.depth
+        if neg and sig in mapped.nodes and sig not in external:
+            # The supernode's output LUT was created by this emission
+            # and has no other consumers: absorb the complement into
+            # its function instead of inverting later.
+            lut = mapped.nodes[sig]
+            lut.func = mapped.mgr.negate(lut.func)
+            neg = False
+        resolve[name] = (sig, neg, depth)
+        external.add(sig)
+        supernode_results.append(result)
+
+    po_depths: Dict[str, int] = {}
+    for po, driver in work.pos.items():
+        sig, neg, depth = resolve[driver]
+        if neg:
+            inv = mapped.fresh_name(f"{po}_inv")
+            mapped.add_node_function(
+                inv, [sig], mapped.mgr.negate(mapped.mgr.var(mapped.var_of(sig)))
+            )
+            sig, depth = inv, depth + 1
+        mapped.add_po(po, sig)
+        po_depths[po] = depth
+
+    mapped.check()
+    depth = max(po_depths.values(), default=0)
+    assert depth == network_depth(mapped), "structural depth disagrees with DP depths"
+    if mapped.max_fanin() > config.k:
+        raise AssertionError("emitted a LUT wider than K")
+
+    # Cross-supernode cleanup: identical LUTs created by different
+    # supernode emissions merge into one (pure area recovery; depth can
+    # only improve), then the gates are covered by K-LUT cells (the
+    # paper's "map all the gates to cells implementable by K-LUTs").
+    from repro.core.lutpack import lut_pack
+    from repro.mapping.netcover import cover_network
+    from repro.network.transform import merge_duplicates
+
+    merge_duplicates(mapped)
+    if config.final_packing:
+        # Depth-optimal re-covering of the emitted gates by K-LUT
+        # cells, then residual single-fanout merges.
+        mapped = cover_network(mapped, config.k)
+        merge_duplicates(mapped)
+        lut_pack(mapped, config.k)
+    if config.area_recovery:
+        from repro.core.area import area_recovery
+
+        area_recovery(mapped, config.k)
+    from repro.network.depth import output_depths
+
+    po_depths = output_depths(mapped)
+    depth = max(po_depths.values(), default=0)
+
+    return SynthesisResult(
+        network=mapped,
+        depth=depth,
+        area=len(mapped.nodes),
+        po_depths=po_depths,
+        collapse_stats=collapse_stats,
+        supernodes=supernode_results,
+        runtime_s=time.perf_counter() - start,
+        config=config,
+    )
+
+
+def _as_literal(net: BooleanNetwork, node) -> Optional[Tuple[str, bool]]:
+    """If the node is a buffer/inverter of one signal, return
+    ``(source, negated)``."""
+    if len(node.fanins) != 1:
+        return None
+    v = net.var_of(node.fanins[0])
+    if node.func == net.mgr.var(v):
+        return (node.fanins[0], False)
+    if node.func == net.mgr.nvar(v):
+        return (node.fanins[0], True)
+    return None

@@ -1,0 +1,457 @@
+"""Dynamic-programming synthesis of one supernode BDD (Algorithm 3).
+
+Given a supernode's function, the arrival (mapping) depths of its fanin
+variables, and the LUT size K, :class:`BDDSynthesizer` finds, for every
+sub-BDD ``Bs(u, l, v)``, the decomposition minimizing its mapping depth:
+
+* ``l = 0`` states are single literals (depth = the input's depth);
+* for ``l > 0`` every cut ``j < l`` is tried, using linear expansion
+  bin-packed by Algorithm 5, or the dominating special decomposition
+  (AND / OR / MUX / XNOR) when its structural condition holds;
+* cuts whose cut set exceeds ``thresh`` are pruned (with a safety
+  fallback to the smallest available cut if everything was pruned, so
+  the DP always returns a finite answer).
+
+The paper fills the table bottom-up over all (u, l, v); we memoize
+top-down from the root state ``Bs(r, n-1, 1)``, which computes exactly
+the same values while skipping states the root never reaches.  Ties in
+delay are broken by local LUT count, then by the paper's preference for
+special decompositions (fewer sub-BDDs).
+
+After the DP, :meth:`BDDSynthesizer.emit` materializes the chosen plans
+as K-LUT nodes in a target :class:`~repro.network.netlist.BooleanNetwork`.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bdd.leveled import LeveledBDD
+from repro.bdd.manager import BDDManager
+from repro.bdd.reorder import reorder_for_size
+from repro.core.binpack import Box, PackedBin, pack_or_gates
+from repro.core.config import DDBDDConfig
+from repro.core.linear import Candidate, Gate, KIND_PRIORITY, State, candidates_for_cut
+from repro.network.netlist import BooleanNetwork
+
+# The DP recursion nests one level per cut level; deep BDDs (by paper
+# bound: <~25 inputs) stay far below this, but synthetic stress tests
+# may not.
+_MIN_RECURSION = 20_000
+
+
+@dataclass
+class SupernodeResult:
+    """Outcome of synthesizing one supernode."""
+
+    signal: str
+    negated: bool
+    depth: int
+    luts_created: int
+    states_visited: int
+    bdd_size: int
+    num_inputs: int
+
+
+@dataclass
+class _Best:
+    delay: int
+    luts: int
+    candidate: Candidate
+
+
+class BDDSynthesizer:
+    """Runs Algorithm 3 on one function and emits the LUT sub-network.
+
+    Parameters
+    ----------
+    mgr, func:
+        The supernode function.  It is transferred into a private
+        manager (reordered per ``config.reorder_effort``) before the DP.
+    input_delays:
+        Mapping depth of every support variable of ``func`` (variable
+        ids of ``mgr``).
+    config:
+        DDBDD tunables (K, thresh, special decompositions, ...).
+    """
+
+    def __init__(
+        self,
+        mgr: BDDManager,
+        func: int,
+        input_delays: Dict[int, int],
+        config: Optional[DDBDDConfig] = None,
+    ) -> None:
+        self.config = config or DDBDDConfig()
+        if sys.getrecursionlimit() < _MIN_RECURSION:
+            sys.setrecursionlimit(_MIN_RECURSION)
+        effort = self.config.reorder_effort
+        if effort == "auto":
+            size = mgr.count_nodes(func)
+            nsup = len(mgr.support(func))
+            effort = "sift" if (size > 12 and nsup >= 4) else "none"
+        arrivals_differ = len(set(input_delays.values())) > 1
+        if self.config.timing_aware_reorder and arrivals_differ:
+            from repro.core.timing_reorder import timing_sift
+
+            self.mgr, self.func, _ = timing_sift(mgr, func, input_delays)
+        else:
+            self.mgr, self.func, _ = reorder_for_size(mgr, func, effort)
+        # Map private-manager variables back to the caller's ids (the
+        # transfer preserves variable ids, so this is the identity; kept
+        # explicit in case that changes).
+        self.lb = LeveledBDD(self.mgr, self.func)
+        self.input_delays = dict(input_delays)
+        self._delay: Dict[State, int] = {}
+        self._plan: Dict[State, _Best] = {}
+
+    # ------------------------------------------------------------------
+    # Dynamic program
+    # ------------------------------------------------------------------
+    @property
+    def root_state(self) -> State:
+        """``Bs(r, n-1, 1)`` — the whole function (Definition 7)."""
+        return (self.lb.root, self.lb.depth - 1, self.mgr.ONE)
+
+    def synthesize(self) -> int:
+        """Compute and return the minimum mapping depth of the function.
+
+        Constants and single literals are handled by the caller
+        (:mod:`repro.core.ddbdd`); this requires a non-terminal root.
+        """
+        if self.mgr.is_terminal(self.func):
+            raise ValueError("constant functions are not synthesized by the DP")
+        return self.delay(self.root_state)
+
+    def full_table(self) -> int:
+        """Fill the DP table in the paper's bottom-up order.
+
+        Algorithm 3 as literally written: for each relative cut level
+        ``l`` from 0 to n-1, for each node ``u`` with ``level(u) + l ≤
+        n-1``, for each ``v ∈ CS(u, l)``, compute ``delay(Bs(u,l,v))``.
+        The memoized recursion computes identical values on demand;
+        this method exists to exercise (and test) the equivalence of
+        the two evaluation orders, and returns the number of states.
+        """
+        lb = self.lb
+        n = lb.depth
+        for l in range(n):
+            for u in lb.nodes:
+                if lb.level(u) + l > n - 1:
+                    continue
+                for v in lb.cut_set(u, l):
+                    self.delay((u, l, v))
+        return len(self._delay)
+
+    def delay(self, state: State) -> int:
+        """Minimum mapping depth of ``Bs(u, l, v)`` (memoized)."""
+        got = self._delay.get(state)
+        if got is not None:
+            return got
+        u, l, v = state
+        if l == 0:
+            # Single literal: positive if v is the 1-child (Algorithm 3's
+            # `bestDelay ← inputDelay(V(u))` base case).
+            d = self.input_delays[self.lb.var_of(u)]
+            self._delay[state] = d
+            self._plan[state] = _Best(d, 0, Candidate("literal", -1))
+            return d
+        # Small-support base case: a sub-BDD depending on at most K
+        # variables fits a single LUT, which is simultaneously
+        # delay-optimal (every implementation is bounded below by
+        # max(input arrival)+1) and area-optimal — no cut can beat it.
+        func = self.lb.bs_function(u, l, v)
+        support = self.mgr.support(func)
+        if len(support) == 1:
+            # The sub-BDD collapsed to a bare literal.
+            var = next(iter(support))
+            d = self.input_delays[var]
+            self._delay[state] = d
+            self._plan[state] = _Best(d, 0, Candidate("litfunc", -1))
+            return d
+        if len(support) <= self.config.k:
+            d = 1 + max(self.input_delays[x] for x in support)
+            self._delay[state] = d
+            self._plan[state] = _Best(d, 1, Candidate("lut", -1))
+            return d
+        best = self._search_cuts(u, l, v, pruned_ok=True)
+        if best is None:
+            # Every cut was pruned by `thresh`; retry on the smallest
+            # cut set so the DP always produces an answer (divergence
+            # guard documented in DESIGN.md).
+            best = self._search_cuts(u, l, v, pruned_ok=False)
+        assert best is not None
+        self._delay[state] = best.delay
+        self._plan[state] = best
+        return best.delay
+
+    def _search_cuts(self, u: int, l: int, v: int, pruned_ok: bool) -> Optional[_Best]:
+        thresh = self.config.thresh
+        best: Optional[_Best] = None
+        js: List[int]
+        if pruned_ok:
+            js = [j for j in range(l) if len(self.lb.cut_set(u, j)) <= thresh]
+        else:
+            js = [min(range(l), key=lambda j: len(self.lb.cut_set(u, j)))]
+        for j in js:
+            for cand in candidates_for_cut(
+                self.lb, u, l, v, j,
+                use_special=self.config.use_special_decompositions,
+                k=self.config.k,
+            ):
+                d, luts = self._candidate_cost(cand)
+                if (
+                    best is None
+                    or d < best.delay
+                    or (d == best.delay and luts < best.luts)
+                    or (
+                        d == best.delay
+                        and luts == best.luts
+                        and KIND_PRIORITY[cand.kind] < KIND_PRIORITY[best.candidate.kind]
+                    )
+                ):
+                    best = _Best(d, luts, cand)
+        return best
+
+    def _candidate_cost(self, cand: Candidate) -> Tuple[int, int]:
+        """(mapping depth, local LUT count) of a candidate."""
+        kind = cand.kind
+        if kind == "alias":
+            return self.delay(cand.operands[0]), 0
+        if kind in ("and", "or", "xnor", "mux"):
+            d = max(self.delay(s) for s in cand.operands)
+            return d + 1, 1
+        assert kind == "linear"
+        boxes = [
+            Box(max(self.delay(s) for s in gate.ops), gate.size, gate)
+            for gate in cand.gates
+        ]
+        depth, _out, created = pack_or_gates(boxes, self.config.k)
+        return depth, len(created)
+
+    @property
+    def states_visited(self) -> int:
+        return len(self._delay)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        net: BooleanNetwork,
+        leaf_signals: Dict[int, Tuple[str, bool, int]],
+        prefix: str,
+    ) -> SupernodeResult:
+        """Materialize the chosen decomposition as LUT nodes in ``net``.
+
+        ``leaf_signals`` maps each support variable to
+        ``(signal name in net, negated, mapping depth)``; the depths
+        must match ``input_delays``.  Returns the output signal (with
+        polarity — a bare-literal function resolves to an input signal).
+        """
+        for var, (_, _, d) in leaf_signals.items():
+            if d != self.input_delays.get(var, d):
+                raise ValueError("leaf depth disagrees with input_delays")
+        root_delay = self.synthesize()
+        emitted: Dict[State, Tuple[str, bool, int]] = {}
+        # Distinct states frequently denote the same Boolean function;
+        # share their LUTs (keyed by the canonical private-manager BDD).
+        by_function: Dict[int, Tuple[str, bool, int]] = {}
+        luts_before = len(net.nodes)
+        counter = [0]
+
+        def fresh() -> str:
+            counter[0] += 1
+            return net.fresh_name(f"{prefix}_{counter[0]}_")
+
+        def lit_of(sig: Tuple[str, bool, int]) -> int:
+            name, neg, _ = sig
+            f = net.mgr.var(net.var_of(name))
+            return net.mgr.negate(f) if neg else f
+
+        def make_lut(func: int, fanins: List[str], depth: int) -> Tuple[str, bool, int]:
+            name = fresh()
+            net.add_node_function(name, fanins, func)
+            return (name, False, depth)
+
+        def signal(state: State) -> Tuple[str, bool, int]:
+            got = emitted.get(state)
+            if got is not None:
+                return got
+            self.delay(state)  # ensure plan exists
+            func_key = self.lb.bs_function(*state)
+            shared = by_function.get(func_key)
+            if shared is not None and shared[2] <= self._delay[state]:
+                emitted[state] = shared
+                return shared
+            best = self._plan[state]
+            cand = best.candidate
+            result: Tuple[str, bool, int]
+            if cand.kind == "literal":
+                u, _, v = state
+                positive = v == self.lb.t_child(u)
+                name, neg, d = leaf_signals[self.lb.var_of(u)]
+                result = (name, neg if positive else (not neg), d)
+            elif cand.kind == "litfunc":
+                func = self.lb.bs_function(*state)
+                var = next(iter(self.mgr.support(func)))
+                positive = func == self.mgr.var(var)
+                name, neg, d = leaf_signals[var]
+                result = (name, neg if positive else (not neg), d)
+            elif cand.kind == "lut":
+                func = self.lb.bs_function(*state)
+                support = self.mgr.support_ordered(func)
+                ops = [leaf_signals[x] for x in support]
+                local = _translate(self.mgr, func, net.mgr,
+                                   {x: lit_of(leaf_signals[x]) for x in support})
+                depth = 1 + max(o[2] for o in ops)
+                result = make_lut(local, _unique([o[0] for o in ops]), depth)
+            elif cand.kind == "alias":
+                result = signal(cand.operands[0])
+            elif cand.kind in ("and", "or", "xnor", "mux"):
+                ops = [signal(s) for s in cand.operands]
+                mgr = net.mgr
+                lits = [lit_of(o) for o in ops]
+                if cand.kind == "and":
+                    func = mgr.apply_and(lits[0], lits[1])
+                elif cand.kind == "or":
+                    func = mgr.apply_or(lits[0], lits[1])
+                elif cand.kind == "xnor":
+                    func = mgr.apply_xnor(lits[0], lits[1])
+                else:
+                    func = mgr.ite(lits[0], lits[1], lits[2])
+                fanins = _unique([o[0] for o in ops])
+                depth = 1 + max(o[2] for o in ops)
+                result = make_lut(func, fanins, depth)
+            else:
+                assert cand.kind == "linear"
+                boxes = []
+                for gate in cand.gates:
+                    ops = [signal(s) for s in gate.ops]
+                    boxes.append(Box(max(o[2] for o in ops), gate.size, ops))
+                depth, out_bin, created = pack_or_gates(boxes, self.config.k)
+                bin_signals: Dict[int, Tuple[str, bool, int]] = {}
+                for bin_ in created:
+                    mgr = net.mgr
+                    func = mgr.ZERO
+                    fanins: List[str] = []
+                    for box in bin_.items:
+                        if isinstance(box.payload, PackedBin):
+                            child = bin_signals[id(box.payload)]
+                            term = lit_of(child)
+                            fanins.append(child[0])
+                        else:
+                            ops = box.payload
+                            term = mgr.ONE
+                            for o in ops:
+                                term = mgr.apply_and(term, lit_of(o))
+                            fanins.extend(o[0] for o in ops)
+                        func = mgr.apply_or(func, term)
+                    made = make_lut(func, _unique(fanins), bin_.depth + 1)
+                    bin_signals[id(bin_)] = made
+                result = bin_signals[id(out_bin)]
+                assert result[2] <= depth
+            emitted[state] = result
+            if func_key not in by_function or result[2] < by_function[func_key][2]:
+                by_function[func_key] = result
+            return result
+
+        out = signal(self.root_state)
+        assert out[2] <= root_delay, "emission deeper than the DP bound"
+        if self.config.verify:
+            self._verify_emission(net, out, leaf_signals, luts_snapshot=emitted)
+        return SupernodeResult(
+            signal=out[0],
+            negated=out[1],
+            depth=out[2],
+            luts_created=len(net.nodes) - luts_before,
+            states_visited=self.states_visited,
+            bdd_size=self.lb.size,
+            num_inputs=self.lb.depth,
+        )
+
+    # ------------------------------------------------------------------
+    # Verification (config.verify)
+    # ------------------------------------------------------------------
+    def _verify_emission(
+        self,
+        net: BooleanNetwork,
+        out: Tuple[str, bool, int],
+        leaf_signals: Dict[int, Tuple[str, bool, int]],
+        luts_snapshot,
+    ) -> None:
+        """Check the emitted cone computes exactly the supernode function.
+
+        Evaluates the cone of LUTs over free leaf signals inside the
+        supernode's private manager and compares BDDs.
+        """
+        mgr = self.mgr
+        # Leaf signal name -> function over the supernode's variables.
+        leaf_funcs: Dict[str, int] = {}
+        for var, (name, neg, _) in leaf_signals.items():
+            f = mgr.var(var)
+            leaf_funcs[name] = mgr.negate(f) if neg else f
+
+        def cone_function(sig_name: str) -> int:
+            if sig_name in leaf_funcs:
+                return leaf_funcs[sig_name]
+            node = net.nodes[sig_name]
+            fanin_funcs = {f: cone_function(f) for f in node.fanins}
+            cache: Dict[int, int] = {}
+            by_var = {net.var_of(f): g for f, g in fanin_funcs.items()}
+
+            def walk(n: int) -> int:
+                if n == net.mgr.ZERO:
+                    return mgr.ZERO
+                if n == net.mgr.ONE:
+                    return mgr.ONE
+                hit = cache.get(n)
+                if hit is not None:
+                    return hit
+                var, lo, hi = net.mgr.node(n)
+                r = mgr.ite(by_var[var], walk(hi), walk(lo))
+                cache[n] = r
+                return r
+
+            result = walk(node.func)
+            leaf_funcs[sig_name] = result
+            return result
+
+        actual = cone_function(out[0])
+        if out[1]:
+            actual = mgr.negate(actual)
+        if actual != self.func:
+            raise AssertionError("emitted network does not match the supernode function")
+
+
+def _translate(src, func: int, dst, lit_by_var: Dict[int, int]) -> int:
+    """Rebuild ``func`` (a BDD in ``src``) inside ``dst``, substituting
+    each source variable with the destination literal ``lit_by_var``."""
+    cache: Dict[int, int] = {}
+
+    def walk(n: int) -> int:
+        if n == src.ZERO:
+            return dst.ZERO
+        if n == src.ONE:
+            return dst.ONE
+        got = cache.get(n)
+        if got is not None:
+            return got
+        var, lo, hi = src.node(n)
+        r = dst.ite(lit_by_var[var], walk(hi), walk(lo))
+        cache[n] = r
+        return r
+
+    return walk(func)
+
+
+def _unique(items: List[str]) -> List[str]:
+    seen = set()
+    out = []
+    for x in items:
+        if x not in seen:
+            seen.add(x)
+            out.append(x)
+    return out

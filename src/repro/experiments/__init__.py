@@ -1,0 +1,29 @@
+"""Experiment drivers reproducing every table of the paper.
+
+Each ``tableN`` module exposes ``run_tableN(...) -> TableResult`` which
+regenerates the corresponding table's rows (per-circuit metrics plus
+the normalized aggregate the paper reports).  ``report`` renders
+results as aligned text tables; EXPERIMENTS.md records a full run.
+"""
+
+from repro.experiments.report import TableResult, format_table, geomean_ratio
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.scaling import run_scaling
+from repro.experiments.runall import run_all
+
+__all__ = [
+    "run_all",
+    "TableResult",
+    "format_table",
+    "geomean_ratio",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_scaling",
+]

@@ -1,0 +1,78 @@
+"""Theorem 1 scaling study: one-BDD synthesis runtime vs size.
+
+The paper proves the dynamic program runs in O(n²·N²) time and O(n·N²)
+space for a BDD of N nodes over n variables.  This driver measures
+wall-clock time of :class:`~repro.core.dp.BDDSynthesizer` across a
+sweep of random-function BDD sizes, reporting the fitted growth
+exponent of time vs N (expected ≲ 2 once n is pinned).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import BDDManager
+from repro.core import DDBDDConfig
+from repro.core.dp import BDDSynthesizer
+from repro.experiments.report import TableResult
+
+
+def random_function(num_vars: int, n_cubes: int, seed: int) -> Tuple[BDDManager, int]:
+    """Random sparse SOP over ``num_vars`` variables."""
+    rng = random.Random(seed)
+    mgr = BDDManager(num_vars)
+    f = mgr.ZERO
+    for _ in range(n_cubes):
+        term = mgr.ONE
+        for v in rng.sample(range(num_vars), rng.randint(2, min(5, num_vars))):
+            lit = mgr.var(v) if rng.random() < 0.5 else mgr.nvar(v)
+            term = mgr.apply_and(term, lit)
+        f = mgr.apply_or(f, term)
+    return mgr, f
+
+
+def run_scaling(
+    sizes: Optional[Sequence[Tuple[int, int]]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    config: Optional[DDBDDConfig] = None,
+) -> TableResult:
+    """Measure DP runtime across BDD sizes.
+
+    ``sizes`` is a list of (num_vars, n_cubes) sweep points.
+    """
+    config = config or DDBDDConfig()
+    sizes = list(sizes or [(8, 6), (10, 10), (12, 14), (14, 20), (16, 28), (18, 36)])
+    rows = []
+    points: List[Tuple[float, float]] = []
+    for num_vars, n_cubes in sizes:
+        for seed in seeds:
+            mgr, f = random_function(num_vars, n_cubes, seed)
+            if mgr.is_terminal(f) or len(mgr.support(f)) < 3:
+                continue
+            start = time.perf_counter()
+            synth = BDDSynthesizer(mgr, f, {v: 0 for v in mgr.support(f)}, config)
+            depth = synth.synthesize()
+            elapsed = time.perf_counter() - start
+            bdd_size = synth.lb.size
+            rows.append([num_vars, n_cubes, seed, bdd_size, depth, round(elapsed * 1000, 2)])
+            if bdd_size > 4 and elapsed > 0:
+                points.append((math.log(bdd_size), math.log(elapsed)))
+    # Least-squares slope of log(time) vs log(N).
+    exponent = float("nan")
+    if len(points) >= 3:
+        mx = sum(p[0] for p in points) / len(points)
+        my = sum(p[1] for p in points) / len(points)
+        num = sum((x - mx) * (y - my) for x, y in points)
+        den = sum((x - mx) ** 2 for x, y in points)
+        if den > 0:
+            exponent = num / den
+    return TableResult(
+        name="Theorem 1 scaling: one-BDD synthesis runtime",
+        columns=["vars", "cubes", "seed", "bdd_size", "depth", "time_ms"],
+        rows=rows,
+        summary={"fitted_time_vs_N_exponent": exponent},
+        notes=["paper bound: O(n^2 N^2) time, O(n N^2) space"],
+    )

@@ -1,0 +1,16 @@
+"""Cut-based LUT technology mapping over AIGs.
+
+The engine behind the SIS+DAOmap and ABC baselines (and usable as a
+standalone FlowMap-class depth-optimal mapper):
+
+* :mod:`repro.mapping.cuts` — K-feasible priority-cut enumeration with
+  depth labels and area flow.
+* :mod:`repro.mapping.mapper` — depth-optimal mapping followed by
+  required-time-constrained area-flow recovery passes (DAOmap-style).
+* :mod:`repro.mapping.cover` — LUT-network extraction from a mapping.
+"""
+
+from repro.mapping.mapper import MapperConfig, map_aig, MappingResult
+from repro.mapping.cover import extract_cover
+
+__all__ = ["MapperConfig", "map_aig", "MappingResult", "extract_cover"]

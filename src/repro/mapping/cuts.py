@@ -1,0 +1,85 @@
+"""K-feasible priority-cut enumeration.
+
+A *cut* of AIG node ``n`` is a set of nodes (leaves) such that every
+path from a PI to ``n`` passes through a leaf; it is K-feasible when it
+has at most K leaves, in which case the cone between the leaves and
+``n`` fits one K-LUT.  Cuts are enumerated bottom-up: the cuts of an
+AND node are the pairwise unions of its fanins' cuts (filtered to ≤ K
+leaves), pruned to the ``cut_limit`` best by ``(depth, area-flow,
+size)`` — the priority-cuts scheme of the ABC mapper.  Each node also
+carries its trivial cut ``{n}`` for use by its consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.aig.aig import AIG, lit_var
+
+
+@dataclass
+class Cut:
+    """One cut with its cached costs under the depth-oriented pass."""
+
+    leaves: FrozenSet[int]
+    depth: int
+    area_flow: float
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+
+def enumerate_cuts(
+    aig: AIG, k: int, cut_limit: int
+) -> Tuple[Dict[int, List[Cut]], Dict[int, int], Dict[int, float]]:
+    """Enumerate priority cuts for every node.
+
+    Returns ``(cuts, label, area_flow)`` where ``label[n]`` is the
+    depth-optimal mapping label of ``n`` over the enumerated cuts and
+    ``area_flow[n]`` its area flow under the best-depth choice.  The
+    stored lists contain only non-trivial cuts (the trivial cut is
+    implicit: consumers add it during merging).
+    """
+    label: Dict[int, int] = {0: 0}
+    area_flow: Dict[int, float] = {0: 0.0}
+    cuts: Dict[int, List[Cut]] = {0: []}
+    fanout = aig.fanout_counts()
+
+    for pi in aig.pis:
+        label[pi] = 0
+        area_flow[pi] = 0.0
+        cuts[pi] = []
+
+    for node in aig.topological_ands():
+        a = lit_var(aig.fanin0[node])
+        b = lit_var(aig.fanin1[node])
+        cand: Dict[FrozenSet[int], Cut] = {}
+        lists_a = cuts[a] + [Cut(frozenset([a]), label[a], area_flow[a])]
+        lists_b = cuts[b] + [Cut(frozenset([b]), label[b], area_flow[b])]
+        for ca in lists_a:
+            for cb in lists_b:
+                leaves = ca.leaves | cb.leaves
+                if len(leaves) > k:
+                    continue
+                if leaves in cand:
+                    continue
+                depth = 1 + max(label[x] for x in leaves)
+                af = (1.0 + sum(area_flow[x] for x in leaves)) / max(fanout[node], 1)
+                cand[leaves] = Cut(leaves, depth, af)
+        ordered = sorted(cand.values(), key=lambda c: (c.depth, c.area_flow, c.size))
+        # Drop dominated cuts (supersets with no better depth).
+        kept: List[Cut] = []
+        for c in ordered:
+            if any(prev.leaves <= c.leaves and prev.depth <= c.depth for prev in kept):
+                continue
+            kept.append(c)
+            if len(kept) >= cut_limit:
+                break
+        if not kept:  # both fanin lists empty and union too big: cannot happen for k >= 2
+            raise AssertionError("node has no feasible cut")
+        cuts[node] = kept
+        label[node] = kept[0].depth
+        area_flow[node] = kept[0].area_flow
+    return cuts, label, area_flow

@@ -1,0 +1,63 @@
+"""Boolean networks (DAGs of logic nodes) and their analyses.
+
+* :mod:`repro.network.netlist` — the :class:`BooleanNetwork` data
+  structure: primary inputs/outputs and internal nodes whose local
+  functions are BDDs over their fanin signals (all sharing one manager).
+* :mod:`repro.network.blif` — Berkeley BLIF reader/writer.
+* :mod:`repro.network.depth` — unit-delay depth/topological utilities.
+* :mod:`repro.network.mffc` — maximum fanout-free cones.
+* :mod:`repro.network.simulate` — bit-parallel functional simulation.
+* :mod:`repro.network.equivalence` — combinational equivalence checking
+  (global-BDD based with a simulation fallback).
+* :mod:`repro.network.transform` — sweep / cleanup passes.
+"""
+
+from repro.network.netlist import BooleanNetwork, Node, NetworkError
+from repro.network.blif import read_blif, write_blif, parse_blif, network_to_blif
+from repro.network.depth import topological_order, depth_map, network_depth
+from repro.network.mffc import mffc
+from repro.network.simulate import simulate, random_patterns
+from repro.network.equivalence import check_equivalence, EquivalenceResult
+from repro.network.transform import sweep, merge_duplicates, absorb_single_input_nodes
+from repro.network.verilog import read_verilog, write_verilog, parse_verilog, network_to_verilog
+from repro.network.sequential import (
+    SequentialNetwork,
+    Latch,
+    parse_sequential_blif,
+    read_sequential_blif,
+    write_sequential_blif,
+    sequential_to_blif,
+)
+from repro.network.dontcare import simplify_with_odc
+
+__all__ = [
+    "BooleanNetwork",
+    "Node",
+    "NetworkError",
+    "read_blif",
+    "write_blif",
+    "parse_blif",
+    "network_to_blif",
+    "topological_order",
+    "depth_map",
+    "network_depth",
+    "mffc",
+    "simulate",
+    "random_patterns",
+    "check_equivalence",
+    "EquivalenceResult",
+    "sweep",
+    "merge_duplicates",
+    "absorb_single_input_nodes",
+    "read_verilog",
+    "write_verilog",
+    "parse_verilog",
+    "network_to_verilog",
+    "SequentialNetwork",
+    "Latch",
+    "parse_sequential_blif",
+    "read_sequential_blif",
+    "write_sequential_blif",
+    "sequential_to_blif",
+    "simplify_with_odc",
+]

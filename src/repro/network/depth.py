@@ -1,0 +1,93 @@
+"""Topological ordering and unit-delay depth (the paper's delay model).
+
+The paper estimates performance with the unit delay model: the depth of
+a primary input is 0 and the depth of a node is one plus the maximum
+depth of its fanins; circuit depth is the maximum over primary-output
+drivers.  For a mapped network whose nodes are LUT cells this is exactly
+the "mapping depth" the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.network.netlist import BooleanNetwork, NetworkError
+
+
+def topological_order(net: BooleanNetwork) -> List[str]:
+    """Internal node names, every node after all of its fanins.
+
+    Raises :class:`NetworkError` on combinational cycles.
+    """
+    state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+    order: List[str] = []
+    pis = set(net.pis)
+
+    for root in net.nodes:
+        if state.get(root) == 1:
+            continue
+        stack: List[tuple] = [(root, iter(net.nodes[root].fanins))]
+        state[root] = 0
+        while stack:
+            name, fanin_iter = stack[-1]
+            advanced = False
+            for f in fanin_iter:
+                if f in pis:
+                    continue
+                s = state.get(f)
+                if s == 0:
+                    raise NetworkError(f"combinational cycle through {f!r}")
+                if s is None:
+                    if f not in net.nodes:
+                        raise NetworkError(f"undefined signal {f!r}")
+                    state[f] = 0
+                    stack.append((f, iter(net.nodes[f].fanins)))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                state[name] = 1
+                order.append(name)
+    return order
+
+
+def depth_map(net: BooleanNetwork) -> Dict[str, int]:
+    """Unit-delay depth of every signal (PIs at 0)."""
+    depths: Dict[str, int] = {pi: 0 for pi in net.pis}
+    for name in topological_order(net):
+        node = net.nodes[name]
+        depths[name] = 1 + max((depths[f] for f in node.fanins), default=-1)
+    return depths
+
+
+def network_depth(net: BooleanNetwork) -> int:
+    """Circuit depth: maximum depth over primary-output drivers."""
+    if not net.pos:
+        return 0
+    depths = depth_map(net)
+    return max(depths.get(driver, 0) for driver in net.pos.values())
+
+
+def reverse_topological_order(net: BooleanNetwork) -> List[str]:
+    """Topological order reversed (POs side first)."""
+    return list(reversed(topological_order(net)))
+
+
+def output_depths(net: BooleanNetwork) -> Dict[str, int]:
+    """Depth of each primary output (by PO name)."""
+    depths = depth_map(net)
+    return {po: depths.get(driver, 0) for po, driver in net.pos.items()}
+
+
+def required_times(net: BooleanNetwork, target: int) -> Dict[str, int]:
+    """Latest depth each signal may settle at for the circuit to meet
+    ``target`` levels (used for slack/criticality computations)."""
+    req: Dict[str, int] = {}
+    for driver in net.pos.values():
+        req[driver] = min(req.get(driver, target), target)
+    for name in reverse_topological_order(net):
+        node = net.nodes[name]
+        r = req.get(name, target)
+        for f in node.fanins:
+            req[f] = min(req.get(f, target), r - 1)
+    return req

@@ -1,0 +1,52 @@
+"""Maximum fanout-free cones (MFFCs).
+
+The MFFC of a node ``n`` is the largest cone rooted at ``n`` such that
+every path from any cone node to a primary output passes through ``n``
+— equivalently, every fanout of every non-root cone node stays inside
+the cone.  BDS-pga's eliminate step collapses MFFCs into their roots;
+our BDS-pga baseline uses this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.network.netlist import BooleanNetwork
+
+
+def mffc(net: BooleanNetwork, root: str, fanouts: Dict[str, List[str]] = None) -> Set[str]:
+    """Internal-node names in the MFFC of ``root`` (root included).
+
+    Primary inputs are never part of a cone.  ``fanouts`` may be passed
+    to amortize the fanout map across many queries.
+    """
+    if fanouts is None:
+        fanouts = net.fanouts()
+    po_drivers = net.po_drivers()
+    cone: Set[str] = {root}
+    # Grow the cone: a fanin joins when all of its fanouts are already in
+    # the cone and it does not directly drive a primary output.
+    frontier = list(net.nodes[root].fanins)
+    changed = True
+    while changed:
+        changed = False
+        next_frontier: List[str] = []
+        for cand in frontier:
+            if cand in cone or cand not in net.nodes:
+                continue
+            if cand in po_drivers:
+                continue
+            if all(f in cone for f in fanouts.get(cand, [])):
+                cone.add(cand)
+                next_frontier.extend(net.nodes[cand].fanins)
+                changed = True
+            else:
+                next_frontier.append(cand)
+        frontier = next_frontier
+    return cone
+
+
+def mffc_sizes(net: BooleanNetwork) -> Dict[str, int]:
+    """MFFC size of every internal node (number of cone nodes)."""
+    fanouts = net.fanouts()
+    return {name: len(mffc(net, name, fanouts)) for name in net.nodes}

@@ -1,0 +1,235 @@
+"""Structural Verilog netlist I/O.
+
+Downstream FPGA users live in Verilog, so mapped networks can be
+exported as synthesizable structural Verilog (one continuous
+``assign`` in sum-of-products form per LUT) and simple structural
+Verilog can be imported back.  The reader supports the subset the
+writer emits plus hand-written gate-level code: ``module`` /
+``input`` / ``output`` / ``wire`` declarations and ``assign`` with
+``~ & | ^`` operators, parentheses and the constants ``1'b0``/``1'b1``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.bdd.isop import isop
+from repro.network.depth import topological_order
+from repro.network.netlist import BooleanNetwork, NetworkError
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+
+
+def _mangle(name: str) -> str:
+    """Make a signal name Verilog-legal (deterministic, collision-safe
+    via an escape scheme)."""
+    if _IDENT.fullmatch(name):
+        return name
+    return "\\" + name + " "  # escaped identifier
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+def network_to_verilog(net: BooleanNetwork, module_name: Optional[str] = None) -> str:
+    """Serialize ``net`` as structural Verilog."""
+    module = module_name or re.sub(r"[^A-Za-z0-9_]", "_", net.name) or "top"
+    lines: List[str] = []
+    pis = [_mangle(p) for p in net.pis]
+    pos = [_mangle(p) for p in net.pos]
+    lines.append(f"module {module} (")
+    ports = ", ".join(pis + pos)
+    lines.append(f"    {ports}")
+    lines.append(");")
+    if pis:
+        lines.append("  input " + ", ".join(pis) + ";")
+    if pos:
+        lines.append("  output " + ", ".join(pos) + ";")
+    wires = [
+        _mangle(n) for n in net.nodes if n not in net.pos and n not in net.pis
+    ]
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    for name in topological_order(net):
+        node = net.nodes[name]
+        lines.append(f"  assign {_mangle(name)} = {_sop_expression(net, node)};")
+    for po, driver in net.pos.items():
+        if po != driver:
+            lines.append(f"  assign {_mangle(po)} = {_mangle(driver)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _sop_expression(net: BooleanNetwork, node) -> str:
+    mgr = net.mgr
+    if node.func == mgr.ZERO:
+        return "1'b0"
+    if node.func == mgr.ONE:
+        return "1'b1"
+    names = {net.var_of(f): _mangle(f) for f in node.fanins}
+    terms = []
+    for cube in isop(mgr, node.func):
+        lits = []
+        for v, positive in sorted(cube.items()):
+            lits.append(names[v] if positive else f"~{names[v]}")
+        terms.append(" & ".join(lits) if len(lits) > 1 else lits[0])
+    if len(terms) == 1:
+        return terms[0]
+    return " | ".join(f"({t})" if " & " in t else t for t in terms)
+
+
+def write_verilog(net: BooleanNetwork, path: str, module_name: Optional[str] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(network_to_verilog(net, module_name))
+
+
+# ----------------------------------------------------------------------
+# Reader (recursive-descent over assign expressions)
+# ----------------------------------------------------------------------
+class _ExprParser:
+    """Parses ``| ^ & ~ ( ) identifier 1'b0 1'b1`` with the usual
+    precedence (low to high: ``|``, ``^``, ``&``, ``~``)."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        spec = re.compile(r"\s*(1'b[01]|[A-Za-z_][A-Za-z0-9_$]*|[()~&|^])")
+        tokens = []
+        idx = 0
+        while idx < len(text):
+            m = spec.match(text, idx)
+            if not m:
+                if text[idx:].strip():
+                    raise NetworkError(f"bad Verilog expression near {text[idx:idx+20]!r}")
+                break
+            tokens.append(m.group(1))
+            idx = m.end()
+        return tokens
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise NetworkError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def parse(self, net: BooleanNetwork) -> Tuple[int, List[str]]:
+        func, deps = self._or(net)
+        if self.peek() is not None:
+            raise NetworkError(f"trailing tokens in expression: {self.tokens[self.pos:]}")
+        return func, deps
+
+    def _or(self, net):
+        f, deps = self._xor(net)
+        while self.peek() == "|":
+            self.take()
+            g, d2 = self._xor(net)
+            f = net.mgr.apply_or(f, g)
+            deps += d2
+        return f, deps
+
+    def _xor(self, net):
+        f, deps = self._and(net)
+        while self.peek() == "^":
+            self.take()
+            g, d2 = self._and(net)
+            f = net.mgr.apply_xor(f, g)
+            deps += d2
+        return f, deps
+
+    def _and(self, net):
+        f, deps = self._unary(net)
+        while self.peek() == "&":
+            self.take()
+            g, d2 = self._unary(net)
+            f = net.mgr.apply_and(f, g)
+            deps += d2
+        return f, deps
+
+    def _unary(self, net):
+        tok = self.take()
+        if tok == "~":
+            f, deps = self._unary(net)
+            return net.mgr.negate(f), deps
+        if tok == "(":
+            f, deps = self._or(net)
+            if self.take() != ")":
+                raise NetworkError("missing ')'")
+            return f, deps
+        if tok == "1'b0":
+            return net.mgr.ZERO, []
+        if tok == "1'b1":
+            return net.mgr.ONE, []
+        return net.mgr.var(net.var_of(tok)), [tok]
+
+
+def parse_verilog(text: str) -> BooleanNetwork:
+    """Parse the structural subset into a network."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    m = re.search(r"\bmodule\s+([A-Za-z_][A-Za-z0-9_$]*)", text)
+    if not m:
+        raise NetworkError("no module found")
+    net = BooleanNetwork(m.group(1))
+
+    def names_in(kind: str) -> List[str]:
+        out: List[str] = []
+        for decl in re.findall(rf"\b{kind}\b([^;]*);", text):
+            out.extend(t for t in re.findall(r"[A-Za-z_][A-Za-z0-9_$]*", decl))
+        return out
+
+    inputs = names_in("input")
+    outputs = names_in("output")
+    for pi in inputs:
+        net.add_pi(pi)
+
+    assigns: List[Tuple[str, str]] = re.findall(
+        r"\bassign\s+([A-Za-z_\\][^\s=]*)\s*=\s*([^;]+);", text
+    )
+    # Create nodes in dependency order.
+    pending = [(lhs.strip(), rhs.strip()) for lhs, rhs in assigns]
+    defined = set(inputs)
+    alias: Dict[str, str] = {}
+    while pending:
+        progress = False
+        deferred = []
+        for lhs, rhs in pending:
+            parser = _ExprParser(rhs)
+            try:
+                deps = [t for t in parser.tokens if _IDENT.fullmatch(t) and not t.startswith("1'b")]
+            except NetworkError:
+                raise
+            if not all(d in defined for d in deps):
+                deferred.append((lhs, rhs))
+                continue
+            func, _ = _ExprParser(rhs).parse(net)
+            if len(deps) == 1 and func == net.mgr.var(net.var_of(deps[0])):
+                alias[lhs] = deps[0]
+            else:
+                net.add_node_function(lhs, sorted(set(deps)), func)
+            defined.add(lhs)
+            progress = True
+        if not progress:
+            missing = sorted({d for _, rhs in deferred for d in _ExprParser(rhs).tokens if _IDENT.fullmatch(d) and d not in defined})
+            raise NetworkError(f"undefined or cyclic Verilog signals: {missing[:5]}")
+        pending = deferred
+
+    for po in outputs:
+        driver = alias.get(po, po)
+        if driver not in defined and driver not in net.nodes:
+            raise NetworkError(f"output {po!r} is never assigned")
+        net.add_po(po, driver)
+    net.check()
+    return net
+
+
+def read_verilog(path: str) -> BooleanNetwork:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_verilog(fh.read())

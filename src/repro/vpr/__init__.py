@@ -1,0 +1,40 @@
+"""VPR-like FPGA physical design flow (the Table IV substrate).
+
+A compact but complete clustered-FPGA CAD flow in the VPR 4.x mold
+[24], used by the paper to measure post-place-and-route delay of the
+ten largest MCNC benchmarks:
+
+* :mod:`repro.vpr.arch` — architecture model: K = 5 LUTs, clusters of
+  N = 10 BLEs, length-4 routing segments, 100 nm-era delay constants.
+* :mod:`repro.vpr.pack` — T-VPack-style greedy clustering.
+* :mod:`repro.vpr.place` — timing-driven simulated-annealing placement.
+* :mod:`repro.vpr.route` — PathFinder-style negotiated-congestion
+  routing over a channel grid, with binary search for the minimum
+  channel width.
+* :mod:`repro.vpr.timing` — static timing analysis over the routed
+  design.
+* :mod:`repro.vpr.flow` — the full flow with the paper's methodology
+  (route at min-W, then re-route with 20% extra tracks and report the
+  critical-path delay).
+"""
+
+from repro.vpr.arch import Architecture
+from repro.vpr.pack import pack_network, Cluster
+from repro.vpr.place import place, Placement
+from repro.vpr.route import route, RoutingResult
+from repro.vpr.timing import analyze_timing, TimingReport
+from repro.vpr.flow import vpr_flow, VPRResult
+
+__all__ = [
+    "Architecture",
+    "pack_network",
+    "Cluster",
+    "place",
+    "Placement",
+    "route",
+    "RoutingResult",
+    "analyze_timing",
+    "TimingReport",
+    "vpr_flow",
+    "VPRResult",
+]

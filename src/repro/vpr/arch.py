@@ -1,0 +1,67 @@
+"""FPGA architecture model.
+
+Matches the paper's Table IV setup: K = 5 LUTs, clusters of size 10,
+length-4 wire segments, and a 100 nm technology node (the same as
+[25]).  The delay constants below are representative 100 nm-era values
+(VPR architecture files of that generation); absolute delays are not
+expected to match the paper's testbed, only their relative behaviour
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Architecture:
+    """Cluster-based island-style FPGA.
+
+    Attributes
+    ----------
+    k:
+        LUT input count.
+    cluster_size:
+        BLEs (LUT+FF pairs) per logic cluster (``N``).
+    cluster_inputs:
+        Distinct external input pins per cluster (``I``); the classical
+        rule of thumb ``I = (K/2)·(N+1)`` gives 27 for K=5, N=10; VPR
+        studies commonly used 22, which we follow.
+    segment_length:
+        Routing wire segment length in logic blocks (paper: 4).
+    Delay constants (nanoseconds, 100 nm-era):
+        ``lut_delay`` — LUT lookup; ``cluster_input_delay`` — input
+        connection block mux; ``local_mux_delay`` — intra-cluster
+        feedback mux; ``switch_delay`` — routing switch through a
+        segment endpoint; ``wire_segment_delay`` — one length-4 segment
+        traversal; ``io_delay`` — pad.
+    """
+
+    k: int = 5
+    cluster_size: int = 10
+    cluster_inputs: int = 22
+    segment_length: int = 4
+
+    lut_delay: float = 0.46
+    cluster_input_delay: float = 0.30
+    local_mux_delay: float = 0.10
+    switch_delay: float = 0.15
+    wire_segment_delay: float = 0.30
+    io_delay: float = 0.18
+
+    def hop_delay(self) -> float:
+        """Average delay of advancing one grid unit on general routing:
+        a length-``segment_length`` segment plus its switch, amortized
+        per logic block traversed."""
+        return (self.wire_segment_delay + self.switch_delay) / self.segment_length
+
+    def net_connection_delay(self, hops: int) -> float:
+        """Routed delay from a cluster output to one sink input pin."""
+        if hops <= 0:
+            # Intra-cluster feedback.
+            return self.local_mux_delay
+        return (
+            self.switch_delay  # output connection block
+            + hops * self.hop_delay()
+            + self.cluster_input_delay
+        )

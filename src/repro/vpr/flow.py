@@ -1,0 +1,98 @@
+"""The full VPR-like flow with the paper's Table IV methodology.
+
+Pack → timing-driven place → binary-search minimum channel width →
+re-route with 20% extra tracks → static timing analysis.  The paper
+additionally routes both tools' netlists of a circuit at the *same*
+track count (the smaller of the two minima + 20%); the experiment
+driver (:mod:`repro.experiments.table4`) handles that pairing via the
+``channel_width`` override.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.netlist import BooleanNetwork
+from repro.vpr.arch import Architecture
+from repro.vpr.pack import pack_network
+from repro.vpr.place import Placement, place
+from repro.vpr.route import RoutingResult, minimum_channel_width, route
+from repro.vpr.timing import TimingReport, analyze_timing
+
+
+@dataclass
+class VPRResult:
+    """Everything the Table IV rows need."""
+
+    num_luts: int
+    num_clusters: int
+    grid: int
+    min_channel_width: int
+    routed_channel_width: int
+    critical_path_ns: float
+    total_wirelength: int
+    runtime_s: float
+    placement: Placement
+    routing: RoutingResult
+    timing: TimingReport
+
+
+def _net_criticalities(net, placement, timing) -> dict:
+    """Per-net criticality from arrival times: a net driven by a deep
+    signal on the critical cone is near 1, shallow nets near 0."""
+    from repro.network.depth import depth_map
+
+    depths = depth_map(net)
+    max_depth = max(depths.values(), default=1) or 1
+    return {n.name: min(0.95, depths.get(n.name, 0) / max_depth) for n in placement.nets}
+
+
+def vpr_flow(
+    net: BooleanNetwork,
+    arch: Optional[Architecture] = None,
+    seed: int = 1,
+    channel_width: Optional[int] = None,
+    place_effort: float = 1.0,
+) -> VPRResult:
+    """Run pack/place/route/timing on a mapped LUT network.
+
+    ``channel_width`` overrides the ``1.2 × Wmin`` rule (used when two
+    flows must be routed at a common track count).
+    """
+    arch = arch or Architecture()
+    start = time.perf_counter()
+    clusters = pack_network(net, arch)
+    placement = place(net, clusters, arch, seed=seed, effort=place_effort)
+    if channel_width is not None:
+        # Caller fixed the track count (e.g. Table IV's shared-width
+        # pairing): skip the binary search.
+        min_w, final_w = channel_width, channel_width
+    else:
+        min_w, _ = minimum_channel_width(placement)
+        final_w = max(1, int(min_w * 1.2))
+    routing = route(placement, final_w)
+    timing = analyze_timing(net, placement, routing, arch)
+    # Timing-driven re-route (the paper runs VPR in timing-driven
+    # mode): derive per-net criticalities from the first STA and route
+    # again so critical connections take shortest paths.
+    crits = _net_criticalities(net, placement, timing)
+    rerouted = route(placement, final_w, criticalities=crits)
+    if rerouted.success or not routing.success:
+        retimed = analyze_timing(net, placement, rerouted, arch)
+        if retimed.critical_path_ns <= timing.critical_path_ns or not routing.success:
+            routing, timing = rerouted, retimed
+    return VPRResult(
+        num_luts=len(net.nodes),
+        num_clusters=len(clusters),
+        grid=placement.nx,
+        min_channel_width=min_w,
+        routed_channel_width=final_w,
+        critical_path_ns=timing.critical_path_ns,
+        total_wirelength=routing.total_wirelength,
+        runtime_s=time.perf_counter() - start,
+        placement=placement,
+        routing=routing,
+        timing=timing,
+    )

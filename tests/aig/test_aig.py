@@ -1,0 +1,107 @@
+"""AIG structural tests."""
+
+from repro.aig.aig import AIG, FALSE_LIT, TRUE_LIT, lit, lit_compl, lit_not, lit_var
+
+
+def eval_aig(aig, literal, env):
+    """Evaluate a literal under env (pi node -> bool)."""
+    memo = {0: False}
+
+    def node_val(n):
+        if n in memo:
+            return memo[n]
+        if n in aig._pi_set:
+            v = env[n]
+        else:
+            v = lit_val(aig.fanin0[n]) and lit_val(aig.fanin1[n])
+        memo[n] = v
+        return v
+
+    def lit_val(l):
+        v = node_val(lit_var(l))
+        return (not v) if lit_compl(l) else v
+
+    return lit_val(literal)
+
+
+class TestLiterals:
+    def test_encoding(self):
+        assert lit(3) == 6
+        assert lit(3, True) == 7
+        assert lit_var(7) == 3
+        assert lit_compl(7) and not lit_compl(6)
+        assert lit_not(6) == 7 and lit_not(7) == 6
+
+    def test_constants(self):
+        assert FALSE_LIT == 0 and TRUE_LIT == 1
+
+
+class TestStrash:
+    def test_and_hashing(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        assert aig.and2(a, b) == aig.and2(b, a)
+
+    def test_simplifications(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        assert aig.and2(a, TRUE_LIT) == a
+        assert aig.and2(a, FALSE_LIT) == FALSE_LIT
+        assert aig.and2(a, a) == a
+        assert aig.and2(a, lit_not(a)) == FALSE_LIT
+
+    def test_or_xor_mux_semantics(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        s = aig.add_pi("s")
+        na, nb, ns = lit_var(a), lit_var(b), lit_var(s)
+        for va in (False, True):
+            for vb in (False, True):
+                for vs in (False, True):
+                    env = {na: va, nb: vb, ns: vs}
+                    assert eval_aig(aig, aig.or2(a, b), env) == (va or vb)
+                    assert eval_aig(aig, aig.xor2(a, b), env) == (va != vb)
+                    assert eval_aig(aig, aig.mux(s, a, b), env) == (va if vs else vb)
+
+
+class TestQueries:
+    def build_chain(self, n=6):
+        aig = AIG()
+        lits = [aig.add_pi(f"i{k}") for k in range(n)]
+        cur = lits[0]
+        for l in lits[1:]:
+            cur = aig.and2(cur, l)
+        aig.add_po("y", cur)
+        return aig
+
+    def test_levels_and_depth(self):
+        aig = self.build_chain(6)
+        assert aig.depth() == 5  # linear AND chain
+
+    def test_num_ands(self):
+        aig = self.build_chain(6)
+        assert aig.num_ands() == 5
+
+    def test_fanout_counts(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        x = aig.and2(a, b)
+        y = aig.and2(x, lit_not(a))
+        aig.add_po("o", y)
+        counts = aig.fanout_counts()
+        assert counts[lit_var(a)] == 2
+        assert counts[lit_var(x)] == 1
+
+    def test_reachable(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        used = aig.and2(a, b)
+        unused = aig.and2(a, lit_not(b))
+        aig.add_po("o", used)
+        mark = aig.reachable_from_pos()
+        assert mark[lit_var(used)]
+        assert not mark[lit_var(unused)]

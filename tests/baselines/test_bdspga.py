@@ -1,0 +1,105 @@
+"""BDS-pga baseline tests."""
+
+import random
+
+import pytest
+
+from repro.baselines.bdspga import (
+    BDSPgaConfig,
+    bdspga_synthesize,
+    decompose_bdd_bds,
+    delay_resynthesis,
+    mffc_collapse,
+)
+from repro.bdd.manager import BDDManager
+from repro.network.depth import network_depth
+from repro.network.netlist import BooleanNetwork
+from repro.network.simulate import exhaustive_patterns, simulate_outputs
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+class TestDecomposer:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_functions_exact(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 8)
+        m = BDDManager(n)
+        bits = [rng.randint(0, 1) for _ in range(1 << n)]
+        f = m.from_truth_table(bits, list(range(n)))
+        if m.is_terminal(f) or len(m.support(f)) < 2:
+            pytest.skip("degenerate")
+        net = BooleanNetwork("scratch")
+        sup = m.support_ordered(f)
+        leaves = {v: (net.add_pi(f"x{v}"), False, 0) for v in sup}
+        sig, neg, depth = decompose_bdd_bds(m, f, {}, BDSPgaConfig(), net, leaves, "t")
+        net.add_po("y", sig)
+        pats = exhaustive_patterns(net.pis)
+        out = simulate_outputs(net, pats, 1 << len(net.pis))["y"]
+        if neg:
+            out ^= (1 << (1 << len(net.pis))) - 1
+        for i in range(1 << len(sup)):
+            env = {v: bool((i >> k) & 1) for k, v in enumerate(sup)}
+            assert m.eval(f, env) == bool((out >> i) & 1)
+        assert net.max_fanin() <= 5
+
+    def test_scratch_mode(self):
+        m = BDDManager(6)
+        f = m.apply_many("and", [m.var(i) for i in range(6)])
+        sig, neg, depth = decompose_bdd_bds(m, f, {v: 0 for v in range(6)})
+        assert depth >= 2
+
+    def test_xnor_function(self):
+        m = BDDManager(4)
+        f = m.apply_xnor(m.apply_xor(m.var(0), m.var(1)), m.apply_xor(m.var(2), m.var(3)))
+        sig, neg, depth = decompose_bdd_bds(m, f, {v: 0 for v in range(4)})
+        assert depth >= 1
+
+
+class TestMffcCollapse:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_functions(self, seed):
+        net = random_gate_network(seed, n_gates=35)
+        ref = net.copy()
+        mffc_collapse(net, size_bound=200)
+        assert_equivalent(ref, net, f"seed {seed}")
+
+    def test_collapses_private_chain(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        prev = "a"
+        for i in range(5):
+            net.add_gate(f"g{i}", "and" if i % 2 else "or", [prev, "b"])
+            prev = f"g{i}"
+        net.add_po("y", prev)
+        mffc_collapse(net, size_bound=200)
+        assert len(net.nodes) == 1
+
+    def test_size_bound_blocks(self):
+        net = random_gate_network(9, n_gates=40)
+        mffc_collapse(net, size_bound=4)
+        for node in net.nodes.values():
+            assert net.mgr.count_nodes(node.func) <= 200  # sanity
+
+
+class TestFullFlow:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence(self, seed):
+        net = random_gate_network(seed + 30, n_pi=9, n_gates=40, n_po=5)
+        result = bdspga_synthesize(net)
+        assert_equivalent(net, result.network, f"seed {seed}")
+        assert result.network.max_fanin() <= 5
+
+    def test_no_resynthesis_variant(self):
+        net = random_gate_network(40, n_gates=30)
+        result = bdspga_synthesize(net, BDSPgaConfig(delay_resynthesis=False))
+        assert_equivalent(net, result.network)
+
+    def test_delay_resynthesis_preserves(self):
+        net = random_gate_network(41, n_gates=35)
+        mapped = bdspga_synthesize(net, BDSPgaConfig(delay_resynthesis=False)).network
+        ref = mapped.copy()
+        before = network_depth(mapped)
+        delay_resynthesis(mapped, k=5, rounds=4)
+        assert_equivalent(ref, mapped)
+        assert network_depth(mapped) <= before

@@ -1,0 +1,89 @@
+"""SIS+DAOmap and ABC baseline tests."""
+
+import pytest
+
+from repro.baselines.abc import abc_flow
+from repro.baselines.espresso import eliminate, network_literals, node_literals
+from repro.baselines.sis import sis_daomap_flow, sis_optimize
+from repro.network.netlist import BooleanNetwork
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+class TestEspressoLite:
+    def test_node_literals(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("g", "and", ["a", "b"])
+        net.add_po("y", "g")
+        assert node_literals(net, "g") == 2
+        assert network_literals(net) == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eliminate_preserves(self, seed):
+        net = random_gate_network(seed, n_gates=30)
+        ref = net.copy()
+        eliminate(net, threshold=0)
+        assert_equivalent(ref, net, f"seed {seed}")
+
+    def test_eliminate_zero_threshold_no_literal_blowup(self):
+        net = random_gate_network(5, n_gates=30)
+        before = network_literals(net)
+        eliminate(net, threshold=0)
+        assert network_literals(net) <= before
+
+    def test_eliminate_collapses_buffer(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("t", "and", ["a", "b"])
+        net.add_gate("y", "buf", ["t"])
+        net.add_po("out", "y")
+        eliminated = eliminate(net, threshold=0)
+        assert eliminated >= 1
+
+
+class TestSisFlow:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence(self, seed):
+        net = random_gate_network(seed + 60, n_pi=9, n_gates=40, n_po=5)
+        result = sis_daomap_flow(net)
+        assert_equivalent(net, result.network, f"seed {seed}")
+        assert result.network.max_fanin() <= 5
+
+    def test_sis_optimize_preserves(self):
+        net = random_gate_network(66, n_gates=35)
+        optimized = sis_optimize(net)
+        assert_equivalent(net, optimized)
+
+    def test_other_k(self):
+        net = random_gate_network(67, n_gates=25)
+        result = sis_daomap_flow(net, k=4)
+        assert result.network.max_fanin() <= 4
+        assert_equivalent(net, result.network)
+
+
+class TestAbcFlow:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence(self, seed):
+        net = random_gate_network(seed + 80, n_pi=9, n_gates=40, n_po=5)
+        result = abc_flow(net, passes=2)
+        assert_equivalent(net, result.network, f"seed {seed}")
+        assert result.network.max_fanin() <= 5
+
+    def test_more_passes_never_worse(self):
+        net = random_gate_network(90, n_gates=40)
+        one = abc_flow(net, passes=1)
+        five = abc_flow(net, passes=5)
+        assert (five.depth, five.area) <= (one.depth, one.area)
+
+    def test_balances_chains(self):
+        net = BooleanNetwork()
+        pis = [net.add_pi(f"i{k}") for k in range(16)]
+        prev = pis[0]
+        for k in range(1, 16):
+            net.add_gate(f"g{k}", "and", [prev, pis[k]])
+            prev = f"g{k}"
+        net.add_po("y", prev)
+        result = abc_flow(net)
+        assert result.depth == 2  # balanced AND-16 at K=5

@@ -1,0 +1,21 @@
+"""Graphviz export tests."""
+
+from repro.bdd.dot import to_dot
+from repro.bdd.manager import BDDManager
+
+
+def test_dot_contains_nodes_and_edges():
+    m = BDDManager(2, var_names=["a", "b"])
+    f = m.apply_and(m.var(0), m.var(1))
+    dot = to_dot(m, f, "andgate")
+    assert dot.startswith("digraph andgate {")
+    assert dot.count('label="a"') == 1
+    assert dot.count('label="b"') == 1
+    assert "style=dashed" in dot  # 0-edges dashed (paper convention)
+    assert dot.rstrip().endswith("}")
+
+
+def test_dot_terminal_only():
+    m = BDDManager(1)
+    dot = to_dot(m, m.ONE)
+    assert 't1 [label="1"' in dot

@@ -1,0 +1,81 @@
+"""Tests for Minato–Morreale ISOP extraction."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.isop import cover_to_bdd, cube_literal_count, isop, isop_interval
+from repro.bdd.manager import BDDManager
+
+
+class TestIsop:
+    def test_constants(self):
+        m = BDDManager(3)
+        assert isop(m, m.ZERO) == []
+        assert isop(m, m.ONE) == [{}]
+
+    def test_literal(self):
+        m = BDDManager(3)
+        assert isop(m, m.var(1)) == [{1: True}]
+        assert isop(m, m.nvar(2)) == [{2: False}]
+
+    def test_and_is_single_cube(self):
+        m = BDDManager(4)
+        f = m.apply_many("and", [m.var(0), m.nvar(2), m.var(3)])
+        cubes = isop(m, f)
+        assert len(cubes) == 1
+        assert cubes[0] == {0: True, 2: False, 3: True}
+
+    def test_xor_needs_two_cubes(self):
+        m = BDDManager(2)
+        f = m.apply_xor(m.var(0), m.var(1))
+        cubes = isop(m, f)
+        assert len(cubes) == 2
+        assert cover_to_bdd(m, cubes) == f
+
+    def test_cover_roundtrip_random(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            m = BDDManager(5)
+            bits = [rng.randint(0, 1) for _ in range(32)]
+            f = m.from_truth_table(bits, list(range(5)))
+            assert cover_to_bdd(m, isop(m, f)) == f
+
+    def test_irredundancy(self):
+        """Removing any single cube changes the function."""
+        rng = random.Random(8)
+        for _ in range(10):
+            m = BDDManager(4)
+            bits = [rng.randint(0, 1) for _ in range(16)]
+            f = m.from_truth_table(bits, list(range(4)))
+            cubes = isop(m, f)
+            if len(cubes) < 2:
+                continue
+            for skip in range(len(cubes)):
+                reduced = cubes[:skip] + cubes[skip + 1:]
+                assert cover_to_bdd(m, reduced) != f
+
+    def test_literal_count(self):
+        assert cube_literal_count([{0: True, 1: False}, {2: True}]) == 3
+
+    def test_interval_bounds(self):
+        m = BDDManager(3)
+        lower = m.apply_and(m.var(0), m.var(1))
+        upper = m.apply_or(m.var(0), m.var(1))
+        cubes, g = isop_interval(m, lower, upper)
+        # lower ≤ g ≤ upper
+        assert m.apply_and(lower, m.negate(g)) == m.ZERO
+        assert m.apply_and(g, m.negate(upper)) == m.ZERO
+        assert cover_to_bdd(m, cubes) == g
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=32, max_size=32))
+def test_property_isop_exact(bits):
+    m = BDDManager(5)
+    f = m.from_truth_table(bits, list(range(5)))
+    cubes = isop(m, f)
+    assert cover_to_bdd(m, cubes) == f
+    # Every cube must be an implicant of f.
+    for cube in cubes:
+        assert m.apply_and(cover_to_bdd(m, [cube]), m.negate(f)) == m.ZERO

@@ -1,0 +1,144 @@
+"""Tests for the derived BDD operators and serialization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDDManager
+from repro.bdd.ops import (
+    boolean_difference,
+    constrain,
+    deserialize,
+    implies,
+    minimize_with_dc,
+    permute,
+    serialize,
+)
+
+
+class TestImplies:
+    def test_and_implies_operand(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert implies(mgr, f, mgr.var(0))
+        assert not implies(mgr, mgr.var(0), f)
+
+    def test_reflexive(self, mgr):
+        f = mgr.apply_xor(mgr.var(0), mgr.var(1))
+        assert implies(mgr, f, f)
+
+
+class TestBooleanDifference:
+    def test_xor_always_sensitive(self, mgr):
+        f = mgr.apply_xor(mgr.var(0), mgr.var(1))
+        assert boolean_difference(mgr, f, 0) == mgr.ONE
+
+    def test_independent_var(self, mgr):
+        f = mgr.var(1)
+        assert boolean_difference(mgr, f, 0) == mgr.ZERO
+
+    def test_and_sensitivity(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert boolean_difference(mgr, f, 0) == mgr.var(1)
+
+
+class TestPermute:
+    def test_swap_vars(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.nvar(1))
+        g = permute(mgr, f, {0: 1, 1: 0})
+        assert g == mgr.apply_and(mgr.var(1), mgr.nvar(0))
+
+    def test_shift(self, mgr):
+        f = mgr.apply_or(mgr.var(0), mgr.var(2))
+        g = permute(mgr, f, {0: 4, 2: 5})
+        assert mgr.support(g) == {4, 5}
+
+    def test_non_injective_rejected(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        with pytest.raises(ValueError):
+            permute(mgr, f, {0: 3, 1: 3})
+
+
+class TestConstrain:
+    def test_agrees_on_care_set(self):
+        rng = random.Random(6)
+        for _ in range(15):
+            m = BDDManager(5)
+            f = m.from_truth_table([rng.randint(0, 1) for _ in range(32)], list(range(5)))
+            care = m.from_truth_table([rng.randint(0, 1) for _ in range(32)], list(range(5)))
+            if care == m.ZERO:
+                continue
+            g = constrain(m, f, care)
+            # g·care == f·care
+            assert m.apply_and(g, care) == m.apply_and(f, care)
+
+    def test_full_care_is_identity(self, mgr):
+        f = mgr.apply_xor(mgr.var(0), mgr.var(1))
+        assert constrain(mgr, f, mgr.ONE) == f
+
+    def test_empty_care_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            constrain(mgr, mgr.var(0), mgr.ZERO)
+
+
+class TestMinimizeWithDC:
+    def test_dc_can_simplify(self):
+        m = BDDManager(3)
+        # f = a·b + ¬a·b·c; with DC = ¬a, f can become just b... (any
+        # function agreeing on the care set a=1).
+        f = m.apply_or(
+            m.apply_and(m.var(0), m.var(1)),
+            m.apply_many("and", [m.nvar(0), m.var(1), m.var(2)]),
+        )
+        dc = m.nvar(0)
+        g = minimize_with_dc(m, f, dc)
+        # g must agree with f on the care set.
+        care = m.var(0)
+        assert m.apply_and(g, care) == m.apply_and(f, care)
+        assert m.count_nodes(g) <= m.count_nodes(f)
+
+    def test_no_dc_is_identity(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert minimize_with_dc(mgr, f, mgr.ZERO) == f
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        rng = random.Random(3)
+        m = BDDManager(6, var_names=[f"n{i}" for i in range(6)])
+        f = m.from_truth_table([rng.randint(0, 1) for _ in range(64)], list(range(6)))
+        g = m.apply_xor(f, m.var(0))
+        data = serialize(m, [f, g])
+        m2, (f2, g2) = deserialize(data)
+        for i in range(64):
+            env = {v: bool((i >> v) & 1) for v in range(6)}
+            assert m2.eval(f2, env) == m.eval(f, env)
+            assert m2.eval(g2, env) == m.eval(g, env)
+
+    def test_terminal_roots(self):
+        m = BDDManager(2)
+        data = serialize(m, [m.ONE, m.ZERO])
+        m2, roots = deserialize(data)
+        assert roots == [m2.ONE, m2.ZERO]
+
+    def test_json_compatible(self):
+        import json
+
+        m = BDDManager(3)
+        f = m.apply_or(m.var(0), m.apply_and(m.var(1), m.var(2)))
+        text = json.dumps(serialize(m, [f]))
+        m2, (f2,) = deserialize(json.loads(text))
+        assert m2.support(f2) == {0, 1, 2}
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=16, max_size=16),
+       care_bits=st.lists(st.integers(0, 1), min_size=16, max_size=16))
+def test_property_constrain_care_agreement(bits, care_bits):
+    m = BDDManager(4)
+    f = m.from_truth_table(bits, list(range(4)))
+    care = m.from_truth_table(care_bits, list(range(4)))
+    if care == m.ZERO:
+        return
+    g = constrain(m, f, care)
+    assert m.apply_and(g, care) == m.apply_and(f, care)

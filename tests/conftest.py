@@ -1,0 +1,55 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDDManager
+from repro.network.netlist import BooleanNetwork
+from repro.network.equivalence import check_equivalence
+
+
+def random_truth_function(mgr: BDDManager, num_vars: int, rng: random.Random) -> int:
+    """Random function over vars 0..num_vars-1 of ``mgr``."""
+    bits = [rng.randint(0, 1) for _ in range(1 << num_vars)]
+    return mgr.from_truth_table(bits, list(range(num_vars)))
+
+
+def random_gate_network(
+    seed: int,
+    n_pi: int = 8,
+    n_gates: int = 30,
+    n_po: int = 4,
+    ops=("and", "or", "xor", "nand", "nor", "xnor", "not", "mux", "maj"),
+) -> BooleanNetwork:
+    """Small random gate-level network (deterministic per seed)."""
+    rng = random.Random(seed)
+    net = BooleanNetwork(f"rand{seed}")
+    sigs = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    for g in range(n_gates):
+        op = rng.choice(ops)
+        arity = {"not": 1, "mux": 3, "maj": 3}.get(op, 2)
+        window = sigs[-min(len(sigs), 20):]
+        if len(set(window)) < arity:
+            op, arity = "not", 1
+        fans = rng.sample(sorted(set(window)), arity)
+        name = f"g{g}"
+        net.add_gate(name, op, fans)
+        sigs.append(name)
+    pool = sigs[n_pi:]
+    for k, s in enumerate(rng.sample(pool, min(n_po, len(pool)))):
+        net.add_po(f"o{k}", s)
+    net.check()
+    return net
+
+
+def assert_equivalent(net_a: BooleanNetwork, net_b: BooleanNetwork, msg: str = "") -> None:
+    eq = check_equivalence(net_a, net_b)
+    assert eq.equivalent, f"{msg}: differs on {eq.failing_output}, cex={eq.counterexample}"
+
+
+@pytest.fixture
+def mgr() -> BDDManager:
+    return BDDManager(8, var_names=[f"v{i}" for i in range(8)])

@@ -1,0 +1,96 @@
+"""Bin-packing tests, including the paper's Fig. 11/12 worked example."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.binpack import Box, PackedBin, first_fit_decreasing, pack_or_gates
+
+
+class TestPaperExample:
+    def test_fig12_example(self):
+        """Fig. 11: four 2-input AND gates at depths 2, 2, 3, 4 with
+        K = 4 decompose to mapping depth 5."""
+        boxes = [Box(2, 2, "g1"), Box(2, 2, "g2"), Box(3, 2, "g3"), Box(4, 2, "g4")]
+        depth, out_bin, created = pack_or_gates(boxes, k=4)
+        assert depth == 5
+        # Step-by-step (Fig. 12): one bin at depth 2, one at 3, one at 4.
+        assert len(created) == 3
+
+    def test_fig12_payloads_thread_through(self):
+        boxes = [Box(2, 2, "g1"), Box(2, 2, "g2"), Box(3, 2, "g3"), Box(4, 2, "g4")]
+        _, out_bin, _ = pack_or_gates(boxes, k=4)
+        # The output bin contains g4 and the buffer of the depth-3 bin.
+        payloads = {b.payload for b in out_bin.items if not isinstance(b.payload, PackedBin)}
+        assert payloads == {"g4"}
+
+
+class TestFFD:
+    def test_respects_capacity(self):
+        boxes = [Box(0, 3, i) for i in range(4)]
+        bins = first_fit_decreasing(boxes, k=5)
+        assert all(b.used <= 5 for b in bins)
+        assert len(bins) == 4  # 3+3 > 5, one per bin
+
+    def test_pairs_fit(self):
+        boxes = [Box(0, 2, i) for i in range(4)]
+        bins = first_fit_decreasing(boxes, k=4)
+        assert len(bins) == 2
+
+    def test_oversized_box_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([Box(0, 6, "x")], k=5)
+
+    def test_decreasing_order(self):
+        boxes = [Box(0, 1, "s"), Box(0, 4, "l"), Box(0, 2, "m")]
+        bins = first_fit_decreasing(boxes, k=5)
+        # Large box first: l+s share a bin, m alone (or l+m? 4+2>5, so l+s).
+        sizes = sorted(b.used for b in bins)
+        assert sizes == [2, 5]
+
+
+class TestPack:
+    def test_single_gate(self):
+        depth, out_bin, created = pack_or_gates([Box(3, 2, "g")], k=5)
+        assert depth == 4
+        assert len(created) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pack_or_gates([], k=5)
+
+    def test_same_depth_wide_or(self):
+        # 10 two-input gates at depth 0, K=5: 2 gates per bin → 5 bins,
+        # then 5 buffers at depth 1 → 1 bin. Final depth 2.
+        boxes = [Box(0, 2, i) for i in range(10)]
+        depth, _, created = pack_or_gates(boxes, k=5)
+        assert depth == 2
+        assert len(created) == 6
+
+    def test_depth_monotone_in_box_depths(self):
+        shallow = [Box(0, 2, i) for i in range(4)]
+        deep = [Box(3, 2, i) for i in range(4)]
+        d1, _, _ = pack_or_gates(shallow, k=5)
+        d2, _, _ = pack_or_gates(deep, k=5)
+        assert d2 == d1 + 3
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    depths=st.lists(st.integers(0, 6), min_size=1, max_size=12),
+    k=st.integers(2, 6),
+)
+def test_property_pack_invariants(depths, k):
+    boxes = [Box(d, 2, i) for i, d in enumerate(depths)]
+    if 2 > k:
+        return
+    depth, out_bin, created = pack_or_gates(boxes, k)
+    # Lower bound: deeper than any input box.
+    assert depth >= max(depths) + 1
+    # Upper bound: a binary OR tree over the gates.
+    import math
+    assert depth <= max(depths) + 1 + math.ceil(math.log2(len(depths))) + 1
+    # Every bin respects capacity.
+    for b in created:
+        assert b.used <= k
+    # The out bin is the last created.
+    assert created[-1] is out_bin

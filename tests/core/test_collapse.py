@@ -1,0 +1,98 @@
+"""Tests for gain-based clustering and partial collapsing (Algorithm 2)."""
+
+import pytest
+
+from repro.core.collapse import CollapseStats, _gain, _mergable, partial_collapse
+from repro.core.config import DDBDDConfig
+from repro.network.netlist import BooleanNetwork
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+class TestGainFormula:
+    def test_positive_delta_multiplies_weight(self):
+        cfg = DDBDDConfig()
+        g_shallow = _gain((10, 10, 15), do_x=1, dix_y=2, no_x=1, config=cfg)
+        g_deep = _gain((10, 10, 15), do_x=2, dix_y=2, no_x=1, config=cfg)
+        assert g_deep > g_shallow  # deeper fanins preferred (Fig. 6)
+
+    def test_fewer_fanouts_preferred(self):
+        cfg = DDBDDConfig()
+        g1 = _gain((10, 10, 15), do_x=1, dix_y=1, no_x=1, config=cfg)
+        g4 = _gain((10, 10, 15), do_x=1, dix_y=1, no_x=4, config=cfg)
+        assert g1 > g4
+
+    def test_negative_delta_divides_weight(self):
+        cfg = DDBDDConfig()
+        # Growth: n > n1+n2. Weight should *soften* the penalty for
+        # good (deep, single-fanout) candidates.
+        g_good = _gain((5, 5, 12), do_x=3, dix_y=3, no_x=1, config=cfg)
+        g_bad = _gain((5, 5, 12), do_x=1, dix_y=3, no_x=4, config=cfg)
+        assert g_good > g_bad
+        assert g_good < 0
+
+
+class TestMergable:
+    def test_size_bound_respected(self):
+        net = random_gate_network(1, n_gates=20)
+        cfg = DDBDDConfig(size_bound=3)
+        for out_name, node in net.nodes.items():
+            for in_name in node.fanins:
+                if in_name in net.nodes:
+                    sizes = _mergable(net, in_name, out_name, cfg)
+                    if sizes is not None:
+                        assert sizes[2] <= 3
+
+    def test_support_bound_respected(self):
+        net = random_gate_network(2, n_gates=30)
+        cfg = DDBDDConfig(support_bound=3)
+        partial_collapse(net, cfg)
+        for node in net.nodes.values():
+            assert len(net.mgr.support(node.func)) <= max(3, 3)
+
+
+class TestPartialCollapse:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_function_preservation(self, seed):
+        net = random_gate_network(seed, n_gates=40)
+        ref = net.copy()
+        stats = partial_collapse(net, DDBDDConfig())
+        assert isinstance(stats, CollapseStats)
+        assert_equivalent(ref, net, f"seed {seed}")
+        net.check()
+
+    def test_reduces_node_count(self):
+        net = random_gate_network(3, n_gates=50)
+        before = len(net.nodes)
+        partial_collapse(net, DDBDDConfig())
+        assert len(net.nodes) < before
+
+    def test_bdd_sizes_bounded(self):
+        net = random_gate_network(4, n_gates=60)
+        cfg = DDBDDConfig()
+        stats = partial_collapse(net, cfg)
+        assert stats.largest_bdd <= cfg.size_bound
+
+    def test_po_drivers_survive(self):
+        net = random_gate_network(5, n_gates=30)
+        drivers = net.po_drivers()
+        partial_collapse(net, DDBDDConfig())
+        for d in drivers:
+            assert d in net.nodes or d in net.pis
+
+    def test_chain_collapses_fully(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        prev = "a"
+        for i in range(6):
+            net.add_gate(f"g{i}", "and" if i % 2 else "or", [prev, "b"])
+            prev = f"g{i}"
+        net.add_po("y", prev)
+        partial_collapse(net, DDBDDConfig())
+        # The whole single-fanout chain folds into one supernode.
+        assert len(net.nodes) == 1
+
+    def test_iteration_cap(self):
+        net = random_gate_network(6, n_gates=30)
+        stats = partial_collapse(net, DDBDDConfig(max_collapse_iterations=1))
+        assert stats.iterations == 1

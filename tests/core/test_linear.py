@@ -1,0 +1,151 @@
+"""Linear expansion and special decomposition tests.
+
+The key invariant (tested as a property): the OR of the enumerated AND
+gates' functions reconstructs ``Bs(u, l, v)`` exactly — the linear
+expansion identity of Sec. II-B.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.leveled import LeveledBDD
+from repro.bdd.manager import BDDManager
+from repro.core.linear import Candidate, candidates_for_cut, enumerate_gates
+
+
+def gate_function(lb, gate):
+    mgr = lb.mgr
+    f = mgr.ONE
+    for state in gate.ops:
+        f = mgr.apply_and(f, lb.bs_function(*state))
+    return f
+
+
+def expansion_function(lb, gates):
+    mgr = lb.mgr
+    f = mgr.ZERO
+    for g in gates:
+        f = mgr.apply_or(f, gate_function(lb, g))
+    return f
+
+
+def random_lb(seed, num_vars=5):
+    rng = random.Random(seed)
+    m = BDDManager(num_vars)
+    bits = [rng.randint(0, 1) for _ in range(1 << num_vars)]
+    f = m.from_truth_table(bits, list(range(num_vars)))
+    if m.is_terminal(f) or len(m.support(f)) < 3:
+        return None
+    return LeveledBDD(m, f)
+
+
+class TestEnumerateGates:
+    def test_identity_on_root(self):
+        lb = random_lb(3)
+        u, n = lb.root, lb.depth
+        for j in range(n - 1):
+            gates = enumerate_gates(lb, u, n - 1, lb.mgr.ONE, j)
+            assert expansion_function(lb, gates) == lb.root
+
+    def test_identity_all_states(self):
+        lb = random_lb(5)
+        for u in lb.nodes[:5]:
+            lmax = lb.max_cut_level(u)
+            for l in range(1, lmax + 1):
+                for v in lb.cut_set(u, l):
+                    expected = lb.bs_function(u, l, v)
+                    for j in range(l):
+                        gates = enumerate_gates(lb, u, l, v, j)
+                        assert expansion_function(lb, gates) == expected, (u, l, v, j)
+
+    def test_gate_operand_states_are_wellformed(self):
+        lb = random_lb(7)
+        u, n = lb.root, lb.depth
+        for j in range(n - 1):
+            for gate in enumerate_gates(lb, u, n - 1, lb.mgr.ONE, j):
+                for (su, sl, sv) in gate.ops:
+                    assert 0 <= sl <= lb.max_cut_level(su)
+                    assert lb.cut_set_contains(su, sl, sv)
+
+
+class TestCandidates:
+    def test_candidate_functions_match(self):
+        """Every candidate reconstructs the state function."""
+        lb = random_lb(11)
+        mgr = lb.mgr
+        u, n = lb.root, lb.depth
+        expected = lb.root
+        for j in range(n - 1):
+            for cand in candidates_for_cut(lb, u, n - 1, mgr.ONE, j):
+                got = _candidate_function(lb, cand)
+                assert got == expected, (j, cand.kind)
+
+    def test_special_disabled_gives_linear(self):
+        lb = random_lb(13)
+        mgr = lb.mgr
+        u, n = lb.root, lb.depth
+        for j in range(n - 1):
+            cands = candidates_for_cut(lb, u, n - 1, mgr.ONE, j, use_special=False)
+            assert all(c.kind in ("linear", "alias", "and") for c in cands)
+
+    def test_mux_skipped_for_k2(self):
+        lb = random_lb(17)
+        mgr = lb.mgr
+        u, n = lb.root, lb.depth
+        for j in range(n - 1):
+            for cand in candidates_for_cut(lb, u, n - 1, mgr.ONE, j, k=2):
+                assert cand.kind != "mux"
+
+
+def _candidate_function(lb, cand: Candidate):
+    mgr = lb.mgr
+    if cand.kind == "alias":
+        return lb.bs_function(*cand.operands[0])
+    if cand.kind == "and":
+        a, b = (lb.bs_function(*s) for s in cand.operands)
+        return mgr.apply_and(a, b)
+    if cand.kind == "or":
+        a, b = (lb.bs_function(*s) for s in cand.operands)
+        return mgr.apply_or(a, b)
+    if cand.kind == "xnor":
+        a, b = (lb.bs_function(*s) for s in cand.operands)
+        return mgr.apply_xnor(a, b)
+    if cand.kind == "mux":
+        s, t, e = (lb.bs_function(*x) for x in cand.operands)
+        return mgr.ite(s, t, e)
+    assert cand.kind == "linear"
+    return expansion_function(lb, cand.gates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=32, max_size=32), j=st.integers(0, 3))
+def test_property_linear_identity(bits, j):
+    m = BDDManager(5)
+    f = m.from_truth_table(bits, list(range(5)))
+    if m.is_terminal(f) or len(m.support(f)) < 2:
+        return
+    lb = LeveledBDD(m, f)
+    l = lb.depth - 1
+    if l < 1 or j >= l:
+        return
+    for v in lb.cut_set(lb.root, l):
+        gates = enumerate_gates(lb, lb.root, l, v, j)
+        assert expansion_function(lb, gates) == lb.bs_function(lb.root, l, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=32, max_size=32), j=st.integers(0, 3))
+def test_property_candidates_sound(bits, j):
+    m = BDDManager(5)
+    f = m.from_truth_table(bits, list(range(5)))
+    if m.is_terminal(f) or len(m.support(f)) < 2:
+        return
+    lb = LeveledBDD(m, f)
+    l = lb.depth - 1
+    if l < 1 or j >= l:
+        return
+    for v in lb.cut_set(lb.root, l):
+        expected = lb.bs_function(lb.root, l, v)
+        for cand in candidates_for_cut(lb, lb.root, l, v, j):
+            assert _candidate_function(lb, cand) == expected

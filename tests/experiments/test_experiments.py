@@ -1,0 +1,52 @@
+"""Smoke tests for the experiment drivers (tiny subsets)."""
+
+import math
+
+from repro.experiments import (
+    geomean_ratio,
+    run_scaling,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table5,
+)
+from repro.experiments.report import TableResult, format_table
+
+
+class TestReport:
+    def test_geomean_ratio(self):
+        assert math.isclose(geomean_ratio([2, 8], [1, 2]), 2.828, rel_tol=1e-3)
+        assert math.isnan(geomean_ratio([], []))
+
+    def test_format_table(self):
+        t = TableResult("demo", ["a", "bb"], [[1, 2.5], ["x", 3.0]], {"s": 1.0}, ["n"])
+        text = format_table(t)
+        assert "demo" in text and "2.50" in text and "note: n" in text
+
+
+class TestDrivers:
+    def test_table1_small(self):
+        result = run_table1(circuits=["misex1", "count"])
+        assert len(result.rows) == 2
+        assert result.summary["circuits_where_collapsing_hurts"] == 0
+        for row in result.rows:
+            assert row[1] <= row[2]  # Delay_w <= Delay_wo (paper claim)
+
+    def test_table2_small(self):
+        result = run_table2(circuits=["misex1", "cc"], min_bdd_size=50)
+        assert result.summary["nodes"] >= 1
+        assert result.summary["sum_depth_ddbdd"] <= result.summary["sum_depth_bdspga"]
+
+    def test_table3_small_verified(self):
+        result = run_table3(circuits=["count", "9sym"], verify=True)
+        assert len(result.rows) == 3  # 2 circuits + Norm row
+        assert "norm_depth_abc" in result.summary
+
+    def test_table5_reuses_table3(self):
+        result = run_table5(circuits=["count"])
+        assert result.name.startswith("Table V")
+
+    def test_scaling(self):
+        result = run_scaling(sizes=[(6, 4), (8, 6)], seeds=(0,))
+        assert result.rows
+        assert "fitted_time_vs_N_exponent" in result.summary

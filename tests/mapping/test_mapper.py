@@ -1,0 +1,73 @@
+"""Technology mapper tests."""
+
+import pytest
+
+from repro.aig.from_network import network_to_aig
+from repro.mapping.mapper import MapperConfig, map_aig
+from repro.network.depth import network_depth
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+class TestMapping:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence(self, seed):
+        net = random_gate_network(seed, n_pi=8, n_gates=30)
+        aig = network_to_aig(net)
+        result = map_aig(aig, MapperConfig(k=5))
+        assert_equivalent(net, result.network, f"seed {seed}")
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_k_feasible(self, k):
+        net = random_gate_network(11, n_gates=30)
+        result = map_aig(network_to_aig(net), MapperConfig(k=k))
+        assert result.network.max_fanin() <= k
+
+    def test_depth_equals_structural_depth(self):
+        net = random_gate_network(12, n_gates=30)
+        result = map_aig(network_to_aig(net), MapperConfig())
+        assert result.depth == network_depth(result.network)
+
+    def test_area_recovery_keeps_depth(self):
+        net = random_gate_network(13, n_pi=9, n_gates=45)
+        aig = network_to_aig(net)
+        no_recovery = map_aig(aig, MapperConfig(area_passes=1))
+        recovered = map_aig(aig, MapperConfig(area_passes=3))
+        assert recovered.depth <= no_recovery.depth
+        assert recovered.area <= no_recovery.area + 2  # recovery helps or is neutral
+
+    def test_complemented_po(self):
+        from repro.network.netlist import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("g", "nand", ["a", "b"])  # complemented output path
+        net.add_po("y", "g")
+        result = map_aig(network_to_aig(net), MapperConfig())
+        assert_equivalent(net, result.network)
+
+    def test_po_on_pi_and_inverted_pi(self):
+        from repro.network.netlist import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_gate("inv", "not", ["a"])
+        net.add_po("plain", "a")
+        net.add_po("neg", "inv")
+        result = map_aig(network_to_aig(net), MapperConfig())
+        assert_equivalent(net, result.network)
+
+    def test_constant_po(self):
+        from repro.network.netlist import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_gate("zero", "const0", [])
+        net.add_po("y", "zero")
+        result = map_aig(network_to_aig(net), MapperConfig())
+        assert_equivalent(net, result.network)
+
+    def test_label_depth_reported(self):
+        net = random_gate_network(14, n_gates=30)
+        result = map_aig(network_to_aig(net), MapperConfig(slack=0))
+        assert result.depth <= result.label_depth

@@ -1,0 +1,77 @@
+"""Tests for the generic bounded-fanin network coverer."""
+
+import pytest
+
+from repro.mapping.netcover import cover_network
+from repro.network.depth import network_depth
+from repro.network.netlist import BooleanNetwork
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+def xor_tree(n):
+    net = BooleanNetwork("xt")
+    pis = [net.add_pi(f"i{k}") for k in range(n)]
+    layer = pis
+    c = 0
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nm = f"x{c}"
+            c += 1
+            net.add_gate(nm, "xor", [layer[i], layer[i + 1]])
+            nxt.append(nm)
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    net.add_po("y", layer[0])
+    return net
+
+
+class TestDepthOptimality:
+    def test_xor16_two_levels(self):
+        covered = cover_network(xor_tree(16), k=5)
+        assert network_depth(covered) == 2
+        assert_equivalent(xor_tree(16), covered)
+
+    def test_xor32_three_levels(self):
+        covered = cover_network(xor_tree(32), k=5)
+        assert network_depth(covered) <= 3
+        assert_equivalent(xor_tree(32), covered)
+
+    def test_never_deeper(self):
+        for seed in range(4):
+            net = random_gate_network(seed + 800, n_gates=40)
+            covered = cover_network(net, k=5)
+            assert network_depth(covered) <= network_depth(net)
+
+
+class TestContract:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence(self, seed):
+        net = random_gate_network(seed + 900, n_gates=40)
+        covered = cover_network(net, k=5)
+        assert_equivalent(net, covered, f"seed {seed}")
+        assert covered.max_fanin() <= 5
+
+    def test_wide_input_rejected(self):
+        net = BooleanNetwork()
+        pis = [net.add_pi(f"i{k}") for k in range(8)]
+        net.add_gate("w", "and", pis)
+        net.add_po("y", "w")
+        with pytest.raises(ValueError):
+            cover_network(net, k=5)
+
+    def test_constant_and_pi_pos(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_gate("one", "const1", [])
+        net.add_po("c", "one")
+        net.add_po("feed", "a")
+        covered = cover_network(net, k=5)
+        assert_equivalent(net, covered)
+
+    def test_area_not_inflated(self):
+        for seed in range(3):
+            net = random_gate_network(seed + 950, n_gates=40)
+            covered = cover_network(net, k=5)
+            assert len(covered.nodes) <= len(net.nodes)

@@ -1,0 +1,109 @@
+"""BLIF reader/writer tests."""
+
+import pytest
+
+from repro.network.blif import network_to_blif, parse_blif
+from repro.network.netlist import NetworkError
+from tests.conftest import assert_equivalent, random_gate_network
+
+SIMPLE = """
+.model demo
+.inputs a b c
+.outputs y
+# a comment
+.names a b t1
+11 1
+.names b c t2
+01 1
+.names t1 t2 y
+1- 1
+-1 1
+.end
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        net = parse_blif(SIMPLE)
+        assert net.name == "demo"
+        assert net.pis == ["a", "b", "c"]
+        assert list(net.pos) == ["y"]
+        assert set(net.nodes) == {"t1", "t2", "y"}
+
+    def test_line_continuation(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        net = parse_blif(text)
+        assert net.pis == ["a", "b"]
+
+    def test_out_of_order_names(self):
+        text = (
+            ".model m\n.inputs a b\n.outputs y\n"
+            ".names t y\n1 1\n"  # uses t before its definition
+            ".names a b t\n11 1\n.end\n"
+        )
+        net = parse_blif(text)
+        assert set(net.nodes) == {"t", "y"}
+
+    def test_constant_nodes(self):
+        text = ".model m\n.inputs a\n.outputs y z\n.names y\n1\n.names z\n.end\n"
+        net = parse_blif(text)
+        assert net.nodes["y"].func == net.mgr.ONE
+        assert net.nodes["z"].func == net.mgr.ZERO
+
+    def test_complemented_cover(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        net = parse_blif(text)
+        assert net.nodes["y"].func == net.mgr.negate(
+            net.mgr.apply_and(net.mgr.var(net.var_of("a")), net.mgr.var(net.var_of("b")))
+        )
+
+    def test_latch_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n"
+        with pytest.raises(NetworkError):
+            parse_blif(text)
+
+    def test_undefined_output_rejected(self):
+        text = ".model m\n.inputs a\n.outputs ghost\n.end\n"
+        with pytest.raises(NetworkError):
+            parse_blif(text)
+
+    def test_cycle_rejected(self):
+        text = (
+            ".model m\n.inputs a\n.outputs x\n"
+            ".names y x\n1 1\n.names x y\n1 1\n.end\n"
+        )
+        with pytest.raises(NetworkError):
+            parse_blif(text)
+
+    def test_cube_outside_names_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_blif(".model m\n.inputs a\n11 1\n.end\n")
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        net = parse_blif(SIMPLE)
+        again = parse_blif(network_to_blif(net))
+        assert_equivalent(net, again, "blif roundtrip")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_network_roundtrip(self, seed):
+        net = random_gate_network(seed)
+        again = parse_blif(network_to_blif(net))
+        assert_equivalent(net, again, f"seed {seed}")
+
+    def test_po_aliasing_passthrough(self):
+        net = parse_blif(SIMPLE)
+        net.add_po("y2", "t1")  # PO named differently from its driver
+        text = network_to_blif(net)
+        again = parse_blif(text)
+        assert set(again.pos) == {"y", "y2"}
+
+    def test_file_io(self, tmp_path):
+        from repro.network.blif import read_blif, write_blif
+
+        net = parse_blif(SIMPLE)
+        path = tmp_path / "x.blif"
+        write_blif(net, str(path))
+        again = read_blif(str(path))
+        assert_equivalent(net, again, "file roundtrip")

@@ -1,0 +1,83 @@
+"""Depth / topological order tests."""
+
+import pytest
+
+from repro.network.depth import (
+    depth_map,
+    network_depth,
+    output_depths,
+    required_times,
+    reverse_topological_order,
+    topological_order,
+)
+from repro.network.netlist import BooleanNetwork, NetworkError
+
+
+def chain(n):
+    net = BooleanNetwork("chain")
+    net.add_pi("a")
+    net.add_pi("b")
+    prev = "a"
+    for i in range(n):
+        net.add_gate(f"g{i}", "and" if i % 2 else "or", [prev, "b"])
+        prev = f"g{i}"
+    net.add_po("y", prev)
+    return net
+
+
+class TestTopo:
+    def test_order_respects_fanins(self):
+        net = chain(5)
+        order = topological_order(net)
+        pos = {n: i for i, n in enumerate(order)}
+        for name in net.nodes:
+            for f in net.nodes[name].fanins:
+                if f in net.nodes:
+                    assert pos[f] < pos[name]
+
+    def test_reverse(self):
+        net = chain(3)
+        assert reverse_topological_order(net) == list(reversed(topological_order(net)))
+
+    def test_cycle_detection(self):
+        net = chain(2)
+        # Introduce a cycle manually.
+        net.nodes["g0"].fanins.append("g1")
+        with pytest.raises(NetworkError):
+            topological_order(net)
+
+    def test_deep_chain_no_recursion_error(self):
+        net = chain(3000)
+        assert network_depth(net) == 3000
+
+
+class TestDepth:
+    def test_pi_depth_zero(self):
+        net = chain(3)
+        assert depth_map(net)["a"] == 0
+
+    def test_chain_depth(self):
+        assert network_depth(chain(7)) == 7
+
+    def test_output_depths(self):
+        net = chain(4)
+        net.add_po("mid", "g1")
+        od = output_depths(net)
+        assert od["y"] == 4 and od["mid"] == 2
+
+    def test_po_on_pi(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_po("y", "a")
+        assert network_depth(net) == 0
+
+    def test_empty_network(self):
+        assert network_depth(BooleanNetwork()) == 0
+
+    def test_required_times(self):
+        net = chain(3)
+        req = required_times(net, target=3)
+        assert req["g2"] == 3
+        assert req["g1"] == 2
+        assert req["g0"] == 1
+        assert req["a"] == 0

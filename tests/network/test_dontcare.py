@@ -1,0 +1,42 @@
+"""ODC-based simplification tests."""
+
+import pytest
+
+from repro.network.dontcare import simplify_with_odc
+from repro.network.netlist import BooleanNetwork
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+def test_odc_simplifies_masked_logic():
+    """g's value is masked when sel=0; its function may simplify."""
+    net = BooleanNetwork()
+    net.add_pi("sel")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_pi("c")
+    # g = complex function, only observed when sel=1 AND a=1.
+    net.add_gate("g", "mux", ["a", "b", "c"])
+    net.add_gate("gate", "and", ["sel", "a"])
+    net.add_gate("y", "and", ["gate", "g"])
+    net.add_po("out", "y")
+    ref = net.copy()
+    simplify_with_odc(net)
+    assert_equivalent(ref, net, "odc")
+    # Under the care set a=1, g = mux(a,b,c) = b: the node may shrink.
+    assert len(net.nodes["g"].fanins) <= 2
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_odc_preserves_outputs(seed):
+    net = random_gate_network(seed + 600, n_pi=7, n_gates=25)
+    ref = net.copy()
+    simplify_with_odc(net)
+    assert_equivalent(ref, net, f"seed {seed}")
+
+
+def test_odc_with_node_limit_degrades_gracefully():
+    net = random_gate_network(7, n_pi=8, n_gates=30)
+    ref = net.copy()
+    changed = simplify_with_odc(net, node_limit=8)
+    assert changed == 0  # blew the limit, did nothing
+    assert_equivalent(ref, net)

@@ -1,0 +1,77 @@
+"""Equivalence checker tests."""
+
+import pytest
+
+from repro.network.equivalence import check_equivalence
+from repro.network.netlist import BooleanNetwork, NetworkError
+from tests.conftest import random_gate_network
+
+
+def xor_net(swap=False):
+    net = BooleanNetwork()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("y", "xor" if not swap else "xnor", ["a", "b"])
+    net.add_po("out", "y")
+    return net
+
+
+class TestBDDMethod:
+    def test_equal_networks(self):
+        r = check_equivalence(xor_net(), xor_net())
+        assert r.equivalent and r.method == "bdd"
+
+    def test_unequal_networks_with_counterexample(self):
+        r = check_equivalence(xor_net(), xor_net(swap=True))
+        assert not r.equivalent
+        assert r.failing_output == "out"
+        # The counterexample must actually distinguish the two nets.
+        env_a = {pi: r.counterexample.get(pi, False) for pi in ["a", "b"]}
+        net1, net2 = xor_net(), xor_net(swap=True)
+        v1 = net1.mgr.eval(net1.nodes["y"].func, {net1.var_of(k): v for k, v in env_a.items()})
+        v2 = net2.mgr.eval(net2.nodes["y"].func, {net2.var_of(k): v for k, v in env_a.items()})
+        assert v1 != v2
+
+    def test_structurally_different_equal(self):
+        a = BooleanNetwork()
+        a.add_pi("x")
+        a.add_pi("y")
+        a.add_gate("o", "or", ["x", "y"])
+        a.add_po("z", "o")
+        b = BooleanNetwork()
+        b.add_pi("x")
+        b.add_pi("y")
+        b.add_gate("nx", "not", ["x"])
+        b.add_gate("ny", "not", ["y"])
+        b.add_gate("n", "and", ["nx", "ny"])
+        b.add_gate("o", "not", ["n"])
+        b.add_po("z", "o")
+        assert check_equivalence(a, b).equivalent
+
+    def test_mismatched_interfaces_rejected(self):
+        a = xor_net()
+        b = BooleanNetwork()
+        b.add_pi("a")
+        b.add_gate("y", "not", ["a"])
+        b.add_po("out", "y")
+        with pytest.raises(NetworkError):
+            check_equivalence(a, b)
+
+
+class TestSimulationFallback:
+    def test_fallback_on_node_limit(self):
+        net1 = random_gate_network(7, n_pi=10, n_gates=40)
+        net2 = net1.copy()
+        r = check_equivalence(net1, net2, node_limit=10)
+        assert r.equivalent and r.method == "simulation"
+
+    def test_fallback_detects_difference(self):
+        net1 = random_gate_network(8, n_pi=10, n_gates=40)
+        net2 = net1.copy()
+        # Corrupt one PO driver.
+        po = next(iter(net2.pos))
+        driver = net2.pos[po]
+        net2.nodes[driver].func = net2.mgr.negate(net2.nodes[driver].func)
+        r = check_equivalence(net1, net2, node_limit=10)
+        assert not r.equivalent and r.method == "simulation"
+        assert r.failing_output == po

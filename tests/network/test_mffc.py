@@ -1,0 +1,54 @@
+"""MFFC tests."""
+
+from repro.network.mffc import mffc, mffc_sizes
+from repro.network.netlist import BooleanNetwork
+
+
+def cone_net():
+    """g3 <- (g1, g2), g1 <- (a,b), g2 <- (b,c); g1 also feeds g4 (PO)."""
+    net = BooleanNetwork()
+    for p in ("a", "b", "c"):
+        net.add_pi(p)
+    net.add_gate("g1", "and", ["a", "b"])
+    net.add_gate("g2", "or", ["b", "c"])
+    net.add_gate("g3", "and", ["g1", "g2"])
+    net.add_gate("g4", "not", ["g1"])
+    net.add_po("y", "g3")
+    net.add_po("z", "g4")
+    return net
+
+
+def test_mffc_excludes_shared_fanin():
+    net = cone_net()
+    cone = mffc(net, "g3")
+    # g1 fans out to g4 as well, so it cannot be in g3's MFFC.
+    assert cone == {"g3", "g2"}
+
+
+def test_mffc_of_private_chain():
+    net = BooleanNetwork()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("g1", "and", ["a", "b"])
+    net.add_gate("g2", "not", ["g1"])
+    net.add_gate("g3", "or", ["g2", "a"])
+    net.add_po("y", "g3")
+    assert mffc(net, "g3") == {"g1", "g2", "g3"}
+
+
+def test_po_driver_not_absorbed():
+    net = BooleanNetwork()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("g1", "and", ["a", "b"])
+    net.add_gate("g2", "not", ["g1"])
+    net.add_po("y", "g2")
+    net.add_po("tap", "g1")  # g1 drives a PO: not collapsible
+    assert mffc(net, "g2") == {"g2"}
+
+
+def test_mffc_sizes():
+    net = cone_net()
+    sizes = mffc_sizes(net)
+    assert sizes["g3"] == 2
+    assert sizes["g1"] == 1

@@ -1,0 +1,155 @@
+"""Tests for the BooleanNetwork data structure."""
+
+import pytest
+
+from repro.network.netlist import BooleanNetwork, NetworkError
+
+
+def small_net():
+    net = BooleanNetwork("t")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_pi("c")
+    net.add_gate("g1", "and", ["a", "b"])
+    net.add_gate("g2", "or", ["g1", "c"])
+    net.add_po("out", "g2")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_pi_rejected(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_pi("a")
+
+    def test_duplicate_node_rejected(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.add_gate("g1", "and", ["a", "c"])
+
+    def test_duplicate_fanin_rejected(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_gate("g", "and", ["a", "a"])
+
+    def test_unknown_op_rejected(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_gate("g", "frobnicate", ["a"])
+
+    def test_unused_fanins_pruned(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        f = net.mgr.var(net.var_of("a"))  # depends only on a
+        net.add_node_function("g", ["a", "b"], f)
+        assert net.nodes["g"].fanins == ["a"]
+
+    def test_all_gate_ops(self):
+        net = BooleanNetwork()
+        for p in ("a", "b", "c"):
+            net.add_pi(p)
+        for i, op in enumerate(["and", "or", "nand", "nor", "xor", "xnor"]):
+            net.add_gate(f"g{op}", op, ["a", "b"])
+        net.add_gate("gnot", "not", ["a"])
+        net.add_gate("gbuf", "buf", ["b"])
+        net.add_gate("gmux", "mux", ["a", "b", "c"])
+        net.add_gate("gmaj", "maj", ["a", "b", "c"])
+        net.add_gate("g0", "const0", [])
+        net.add_gate("g1c", "const1", [])
+        # spot-check semantics via BDD evaluation
+        mgr = net.mgr
+        env = {net.var_of("a"): True, net.var_of("b"): False, net.var_of("c"): True}
+        assert not mgr.eval(net.nodes["gand"].func, env)
+        assert mgr.eval(net.nodes["gor"].func, env)
+        assert mgr.eval(net.nodes["gxor"].func, env)
+        assert mgr.eval(net.nodes["gmux"].func, env) == False  # a ? b : c -> b = False
+        assert mgr.eval(net.nodes["gmaj"].func, env)
+
+    def test_cover_node(self):
+        net = BooleanNetwork()
+        net.add_pi("x")
+        net.add_pi("y")
+        net.add_node_from_cover("f", ["x", "y"], ["1-", "01"])
+        mgr = net.mgr
+        assert mgr.eval(net.nodes["f"].func, {net.var_of("x"): True, net.var_of("y"): False})
+        assert mgr.eval(net.nodes["f"].func, {net.var_of("x"): False, net.var_of("y"): True})
+        assert not mgr.eval(net.nodes["f"].func, {net.var_of("x"): False, net.var_of("y"): False})
+
+    def test_cover_output_zero(self):
+        net = BooleanNetwork()
+        net.add_pi("x")
+        net.add_node_from_cover("f", ["x"], ["1"], output_value="0")
+        assert net.nodes["f"].func == net.mgr.nvar(net.var_of("x"))
+
+    def test_cover_bad_cube(self):
+        net = BooleanNetwork()
+        net.add_pi("x")
+        with pytest.raises(NetworkError):
+            net.add_node_from_cover("f", ["x"], ["2"])
+
+    def test_fresh_name(self):
+        net = small_net()
+        nm = net.fresh_name("g")
+        assert nm not in net.nodes and nm not in net.pis
+
+
+class TestQueries:
+    def test_fanouts(self):
+        net = small_net()
+        fo = net.fanouts()
+        assert fo["g1"] == ["g2"]
+        assert fo["a"] == ["g1"]
+        assert fo["g2"] == []
+
+    def test_po_drivers(self):
+        assert small_net().po_drivers() == {"g2"}
+
+    def test_stats(self):
+        s = small_net().stats()
+        assert s == {"pis": 3, "pos": 1, "nodes": 2, "max_fanin": 2, "depth": 2}
+
+    def test_check_detects_undefined(self):
+        net = small_net()
+        net.nodes["g2"].fanins.append("ghost")
+        with pytest.raises(NetworkError):
+            net.check()
+
+
+class TestEditing:
+    def test_collapse_into(self):
+        net = small_net()
+        net.collapse_into("g1", "g2")
+        node = net.nodes["g2"]
+        assert set(node.fanins) == {"a", "b", "c"}
+        env = {net.var_of("a"): True, net.var_of("b"): True, net.var_of("c"): False}
+        assert net.mgr.eval(node.func, env)
+
+    def test_collapse_requires_edge(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.collapse_into("g2", "g1")
+
+    def test_merged_function_nonmutating(self):
+        net = small_net()
+        before = net.nodes["g2"].func
+        net.merged_function("g1", "g2")
+        assert net.nodes["g2"].func == before
+
+    def test_replace_fanin_with_negation(self):
+        net = small_net()
+        net.replace_fanin("g2", "c", "a", negate=True)
+        node = net.nodes["g2"]
+        assert "c" not in node.fanins
+        env = {net.var_of("a"): False, net.var_of("b"): False}
+        assert net.mgr.eval(node.func, env)  # ¬a = True dominates the OR
+
+    def test_copy_independent(self):
+        net = small_net()
+        dup = net.copy()
+        dup.remove_node("g2")
+        assert "g2" in net.nodes
+        assert "g2" not in dup.nodes

@@ -1,0 +1,108 @@
+"""Sweep / dedup transform tests (function preservation is the law)."""
+
+import pytest
+
+from repro.network.netlist import BooleanNetwork
+from repro.network.transform import (
+    make_po_drivers_nodes,
+    merge_duplicates,
+    remove_dangling,
+    sweep,
+)
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+class TestSweep:
+    def test_buffer_absorbed(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("buf", "buf", ["a"])
+        net.add_gate("y", "and", ["buf", "b"])
+        net.add_po("out", "y")
+        ref = net.copy()
+        sweep(net)
+        assert "buf" not in net.nodes
+        assert_equivalent(ref, net)
+
+    def test_inverter_absorbed(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("inv", "not", ["a"])
+        net.add_gate("y", "and", ["inv", "b"])
+        net.add_po("out", "y")
+        ref = net.copy()
+        sweep(net)
+        assert "inv" not in net.nodes
+        assert_equivalent(ref, net)
+
+    def test_constant_propagated(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_gate("zero", "const0", [])
+        net.add_gate("y", "or", ["zero", "a"])
+        net.add_po("out", "y")
+        ref = net.copy()
+        sweep(net)
+        assert "zero" not in net.nodes
+        assert_equivalent(ref, net)
+
+    def test_po_driver_kept(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_gate("buf", "buf", ["a"])
+        net.add_po("out", "buf")
+        sweep(net)
+        assert "buf" in net.nodes  # PO drivers must remain named
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sweep_preserves_random_networks(self, seed):
+        net = random_gate_network(seed, n_gates=40)
+        ref = net.copy()
+        sweep(net)
+        assert_equivalent(ref, net, f"seed {seed}")
+
+
+class TestDangling:
+    def test_remove_dangling(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("used", "and", ["a", "b"])
+        net.add_gate("dead", "or", ["a", "b"])
+        net.add_gate("dead2", "not", ["dead"])
+        net.add_po("y", "used")
+        removed = remove_dangling(net)
+        assert removed == 2
+        assert set(net.nodes) == {"used"}
+
+
+class TestDedup:
+    def test_merge_duplicates(self):
+        net = BooleanNetwork()
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("g1", "and", ["a", "b"])
+        net.add_gate("g2", "and", ["a", "b"])
+        net.add_gate("y", "or", ["g1", "g2"])
+        net.add_po("out", "y")
+        ref = net.copy()
+        merged = merge_duplicates(net)
+        assert merged >= 1
+        assert_equivalent(ref, net)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dedup_preserves_random_networks(self, seed):
+        net = random_gate_network(seed + 20, n_gates=40)
+        ref = net.copy()
+        merge_duplicates(net)
+        assert_equivalent(ref, net, f"seed {seed}")
+
+
+def test_make_po_drivers_nodes():
+    net = BooleanNetwork()
+    net.add_pi("a")
+    net.add_po("y", "a")
+    make_po_drivers_nodes(net)
+    assert net.pos["y"] in net.nodes

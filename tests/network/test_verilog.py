@@ -1,0 +1,127 @@
+"""Verilog I/O tests."""
+
+import pytest
+
+from repro.network.netlist import BooleanNetwork, NetworkError
+from repro.network.verilog import network_to_verilog, parse_verilog
+from tests.conftest import assert_equivalent, random_gate_network
+
+
+class TestWriter:
+    def test_basic_structure(self):
+        net = BooleanNetwork("demo")
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("y", "and", ["a", "b"])
+        net.add_po("y", "y")
+        text = network_to_verilog(net)
+        assert "module demo" in text
+        assert "input a, b;" in text
+        assert "assign y = a & b;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_constants(self):
+        net = BooleanNetwork("c")
+        net.add_pi("a")
+        net.add_gate("zero", "const0", [])
+        net.add_po("z", "zero")
+        text = network_to_verilog(net)
+        assert "1'b0" in text
+
+    def test_xor_written_as_sop(self):
+        net = BooleanNetwork("x")
+        net.add_pi("a")
+        net.add_pi("b")
+        net.add_gate("y", "xor", ["a", "b"])
+        net.add_po("y", "y")
+        text = network_to_verilog(net)
+        assert "|" in text and "~" in text  # SOP of XOR
+
+
+class TestReader:
+    def test_simple(self):
+        text = """
+        module t (a, b, y);
+          input a, b;
+          output y;
+          assign y = a & ~b | ~a & b;  // xor
+        endmodule
+        """
+        net = parse_verilog(text)
+        assert net.pis == ["a", "b"]
+        mgr = net.mgr
+        expected = mgr.apply_xor(mgr.var(net.var_of("a")), mgr.var(net.var_of("b")))
+        assert net.nodes["y"].func == expected
+
+    def test_precedence_and_parens(self):
+        text = """
+        module p (a, b, c, y);
+          input a, b, c; output y;
+          assign y = a | b & c;
+          endmodule
+        """
+        net = parse_verilog(text)
+        mgr = net.mgr
+        a, b, c = (mgr.var(net.var_of(s)) for s in "abc")
+        assert net.nodes["y"].func == mgr.apply_or(a, mgr.apply_and(b, c))
+
+    def test_xor_operator(self):
+        text = "module q (a,b,y); input a,b; output y; assign y = a ^ b; endmodule"
+        net = parse_verilog(text)
+        mgr = net.mgr
+        assert net.nodes["y"].func == mgr.apply_xor(
+            mgr.var(net.var_of("a")), mgr.var(net.var_of("b"))
+        )
+
+    def test_out_of_order_assigns(self):
+        text = """
+        module o (a, y); input a; output y;
+          assign y = t | a;
+          assign t = ~a;
+        endmodule
+        """
+        net = parse_verilog(text)
+        # y's local function is t | a; globally y = ~a | a = 1.
+        from repro.network.simulate import exhaustive_patterns, simulate_outputs
+
+        pats = exhaustive_patterns(net.pis)
+        out = simulate_outputs(net, pats, 2)["y"]
+        assert out == 0b11
+
+    def test_undefined_signal_rejected(self):
+        text = "module z (a,y); input a; output y; assign y = ghost; endmodule"
+        with pytest.raises(NetworkError):
+            parse_verilog(text)
+
+    def test_cycle_rejected(self):
+        text = ("module z (a,y); input a; output y; "
+                "assign y = t; assign t = y & a; endmodule")
+        with pytest.raises(NetworkError):
+            parse_verilog(text)
+
+    def test_comments_stripped(self):
+        text = """
+        module c (a, y); // header
+          input a; output y;
+          /* block
+             comment */
+          assign y = ~a;
+        endmodule
+        """
+        net = parse_verilog(text)
+        assert "y" in net.nodes
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_write_then_read(self, seed):
+        net = random_gate_network(seed + 40, n_pi=6, n_gates=20)
+        again = parse_verilog(network_to_verilog(net))
+        assert_equivalent(net, again, f"seed {seed}")
+
+    def test_mapped_network_roundtrip(self):
+        from repro import build_circuit, ddbdd_synthesize
+
+        mapped = ddbdd_synthesize(build_circuit("misex1")).network
+        again = parse_verilog(network_to_verilog(mapped))
+        assert_equivalent(mapped, again, "mapped roundtrip")

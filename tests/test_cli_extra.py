@@ -1,0 +1,27 @@
+"""Tests for the equiv/stats CLI subcommands."""
+
+from repro.cli import main
+
+
+def test_equiv_same_circuit(capsys):
+    assert main(["equiv", "count", "count"]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_equiv_interface_mismatch(capsys):
+    assert main(["equiv", "parity", "9sym"]) == 2
+    assert "interface mismatch" in capsys.readouterr().out
+
+
+def test_equiv_against_mapped(tmp_path, capsys):
+    out = tmp_path / "m.blif"
+    assert main(["synth", "misex1", "-o", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["equiv", "misex1", str(out)]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_stats(capsys):
+    assert main(["stats", "count"]) == 0
+    out = capsys.readouterr().out
+    assert "inputs:" in out and "depth:" in out

@@ -1,0 +1,32 @@
+"""VPR report tests."""
+
+import pytest
+
+from repro.core import ddbdd_synthesize
+from repro.vpr import Architecture, vpr_flow
+from repro.vpr.report import channel_occupancy_histogram, timing_histogram, utilization_report
+from tests.conftest import random_gate_network
+
+
+@pytest.fixture(scope="module")
+def vpr_result():
+    net = random_gate_network(4, n_pi=8, n_gates=40, n_po=5)
+    mapped = ddbdd_synthesize(net).network
+    return vpr_flow(mapped, Architecture(), seed=1, place_effort=0.3)
+
+
+def test_utilization_report(vpr_result):
+    text = utilization_report(vpr_result, Architecture())
+    assert "cluster utilization" in text
+    assert "critical path" in text
+    assert f"{vpr_result.total_wirelength} segment units" in text
+
+
+def test_channel_histogram(vpr_result):
+    hist = channel_occupancy_histogram(vpr_result)
+    assert sum(hist.values()) == len(vpr_result.routing.sink_hops)
+
+
+def test_timing_histogram(vpr_result):
+    hist = timing_histogram(vpr_result)
+    assert sum(hist.values()) == len(vpr_result.timing.po_arrivals)
