@@ -21,6 +21,14 @@ inventory and fidelity notes, and EXPERIMENTS.md for paper-vs-measured
 results.
 """
 
+from repro.analysis import (
+    Diagnostic,
+    VerificationError,
+    check_bdd_manager,
+    check_lut_cover,
+    check_network,
+    verify_synthesis_result,
+)
 from repro.bdd import BDDManager, LeveledBDD
 from repro.network import (
     BooleanNetwork,
@@ -49,6 +57,12 @@ __version__ = "1.0.0"
 __all__ = [
     "BDDManager",
     "LeveledBDD",
+    "Diagnostic",
+    "VerificationError",
+    "check_bdd_manager",
+    "check_lut_cover",
+    "check_network",
+    "verify_synthesis_result",
     "BooleanNetwork",
     "parse_blif",
     "read_blif",

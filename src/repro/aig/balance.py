@@ -10,16 +10,19 @@ the plain SIS decomposition.
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, List, Tuple
 
 from repro.aig.aig import AIG, lit, lit_compl, lit_not, lit_var
+from repro.utils import recursion_headroom
 
 
 def balance(aig: AIG) -> AIG:
     """Return a balanced copy of ``aig`` (same PI/PO names)."""
-    if sys.getrecursionlimit() < 100_000:
-        sys.setrecursionlimit(100_000)
+    with recursion_headroom(100_000):
+        return _balance(aig)
+
+
+def _balance(aig: AIG) -> AIG:
     new = AIG(aig.name)
     node_map: Dict[int, int] = {0: 0}  # old node -> new positive literal
     level: Dict[int, int] = {0: 0}  # new node -> level

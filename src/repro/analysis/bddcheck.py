@@ -1,0 +1,218 @@
+"""BDD-manager invariant checker (``DD2xx``).
+
+:func:`check_bdd_manager` audits the internal consistency of a
+:class:`~repro.bdd.manager.BDDManager`: reducedness, variable-order
+monotonicity on every edge, unique-table agreement with the node store,
+compute-cache sanity and the order/level permutation pair.
+
+Scope
+-----
+Passing ``roots`` restricts the per-node structural checks to the nodes
+reachable from those functions.  That is both faster and *stricter*:
+unreachable ("dead") nodes may legitimately carry stale structure after
+in-place sifting (:meth:`BDDManager.swap_adjacent_levels` rewrites only
+the live pool), so a whole-store audit must tolerate nodes missing from
+the unique table, while a live-set audit must not.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.bdd.manager import BDDManager
+
+
+def check_bdd_manager(
+    mgr: BDDManager, roots: Optional[Sequence[int]] = None
+) -> List[Diagnostic]:
+    """Audit every ``DD2xx`` invariant of ``mgr``.
+
+    ``roots`` (optional) are function ids; when given, only nodes
+    reachable from them are checked and every one of them must be
+    registered in the unique table.
+    """
+    diags: List[Diagnostic] = []
+    num_nodes = mgr.num_nodes
+
+    diags.extend(_check_terminals(mgr))
+    diags.extend(_check_order_maps(mgr))
+
+    if roots is not None:
+        live: Set[int] = set()
+        for r in roots:
+            if not 0 <= r < num_nodes:
+                diags.append(
+                    Diagnostic("DD204", f"root {r} is not a node id", where=str(r))
+                )
+                continue
+            live |= mgr.reachable(r)
+        pool: Iterable[int] = sorted(n for n in live if n > 1)
+        strict_unique = True
+    else:
+        pool = range(2, num_nodes)
+        strict_unique = False
+
+    for n in pool:
+        var, lo, hi = mgr.node(n)
+        where = str(n)
+        if not 0 <= var < mgr.num_vars:
+            diags.append(
+                Diagnostic("DD202", f"node {n} tests out-of-range variable {var}", where=where)
+            )
+            continue
+        if not (0 <= lo < num_nodes and 0 <= hi < num_nodes):
+            diags.append(
+                Diagnostic(
+                    "DD204", f"node {n} has out-of-range child ({lo}, {hi})", where=where
+                )
+            )
+            continue
+        if lo == hi:
+            diags.append(
+                Diagnostic(
+                    "DD203", f"node {n} is unreduced: both edges reach {lo}", where=where
+                )
+            )
+        level = mgr.level_of(var)
+        for label, child in (("0-edge", lo), ("1-edge", hi)):
+            if child > 1 and mgr.level_of(mgr.top_var(child)) <= level:
+                diags.append(
+                    Diagnostic(
+                        "DD202",
+                        f"node {n} ({label}) reaches node {child} at a non-deeper level",
+                        where=where,
+                    )
+                )
+        if strict_unique:
+            registered = mgr._unique.get((var, lo, hi))
+            if registered != n:
+                diags.append(
+                    Diagnostic(
+                        "DD204",
+                        f"live node {n} triple maps to {registered} in the unique table",
+                        where=where,
+                    )
+                )
+
+    diags.extend(_check_unique_table(mgr))
+    diags.extend(_check_compute_caches(mgr))
+    return diags
+
+
+def _check_terminals(mgr: BDDManager) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for t in (mgr.ZERO, mgr.ONE):
+        var, lo, hi = mgr.node(t)
+        if var != -1 or lo != t or hi != t:
+            diags.append(
+                Diagnostic(
+                    "DD201",
+                    f"terminal {t} carries ({var}, {lo}, {hi}) instead of (-1, {t}, {t})",
+                    where=str(t),
+                )
+            )
+    return diags
+
+
+def _check_order_maps(mgr: BDDManager) -> List[Diagnostic]:
+    """Level-of and var-at-level must be inverse permutations."""
+    diags: List[Diagnostic] = []
+    n = mgr.num_vars
+    order = mgr.order
+    if sorted(order) != list(range(n)):
+        diags.append(
+            Diagnostic("DD206", f"var_at_level {order} is not a permutation of 0..{n - 1}")
+        )
+        return diags
+    for level, v in enumerate(order):
+        if mgr.level_of(v) != level:
+            diags.append(
+                Diagnostic(
+                    "DD206",
+                    f"variable {v} sits at level {level} but level_of reports {mgr.level_of(v)}",
+                    where=str(v),
+                )
+            )
+    return diags
+
+
+def _check_unique_table(mgr: BDDManager) -> List[Diagnostic]:
+    """Every unique-table entry must agree with the node store."""
+    diags: List[Diagnostic] = []
+    num_nodes = mgr.num_nodes
+    claimed: dict = {}
+    for (var, lo, hi), n in mgr._unique.items():
+        if not 2 <= n < num_nodes:
+            diags.append(
+                Diagnostic(
+                    "DD204",
+                    f"unique table maps ({var}, {lo}, {hi}) to invalid id {n}",
+                    where=str(n),
+                )
+            )
+            continue
+        if mgr.node(n) != (var, lo, hi):
+            diags.append(
+                Diagnostic(
+                    "DD204",
+                    f"unique table key ({var}, {lo}, {hi}) disagrees with node {n} "
+                    f"storing {mgr.node(n)}",
+                    where=str(n),
+                )
+            )
+        if n in claimed:
+            diags.append(
+                Diagnostic(
+                    "DD204",
+                    f"node {n} is registered under two unique-table keys",
+                    where=str(n),
+                )
+            )
+        claimed[n] = (var, lo, hi)
+    return diags
+
+
+def _check_compute_caches(mgr: BDDManager) -> List[Diagnostic]:
+    """Cached results must be valid ids with compatible structure."""
+    diags: List[Diagnostic] = []
+    num_nodes = mgr.num_nodes
+    for key, result in mgr._ite_cache.items():
+        ids = (*key, result)
+        if any(not 0 <= x < num_nodes for x in ids):
+            diags.append(
+                Diagnostic(
+                    "DD205",
+                    f"ite cache entry {key} -> {result} references unknown node ids",
+                    where=str(result),
+                )
+            )
+    for f, g in mgr._not_cache.items():
+        if not (0 <= f < num_nodes and 0 <= g < num_nodes):
+            diags.append(
+                Diagnostic(
+                    "DD205",
+                    f"negation cache entry {f} -> {g} references unknown node ids",
+                    where=str(f),
+                )
+            )
+            continue
+        # Complement preserves the root variable (no complement edges).
+        if f > 1 and g > 1 and mgr.top_var(f) != mgr.top_var(g):
+            diags.append(
+                Diagnostic(
+                    "DD205",
+                    f"negation cache pairs node {f} (var {mgr.top_var(f)}) with "
+                    f"node {g} (var {mgr.top_var(g)})",
+                    where=str(f),
+                )
+            )
+        if (f <= 1) != (g <= 1):
+            diags.append(
+                Diagnostic(
+                    "DD205",
+                    f"negation cache pairs terminal and nonterminal ({f}, {g})",
+                    where=str(f),
+                )
+            )
+    return diags

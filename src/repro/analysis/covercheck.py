@@ -1,0 +1,165 @@
+"""LUT-cover invariant checker (``DD3xx``).
+
+Audits a mapped K-LUT network against what the synthesis flow *claimed*
+about it: K-feasibility of every cell, an independent unit-delay depth
+recomputation cross-checked against ``SynthesisResult.depth`` and
+``po_depths``, the LUT count against ``area``, and a spot
+simulation-based equivalence check against the source network.
+
+The depth recomputation deliberately does not reuse
+:mod:`repro.network.depth` — it runs its own Kahn sort and longest-path
+pass, so a bug in the shared traversal cannot certify its own output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.network.netlist import BooleanNetwork
+
+
+def check_lut_cover(
+    net: BooleanNetwork,
+    k: int,
+    claimed_depth: Optional[int] = None,
+    claimed_po_depths: Optional[Dict[str, int]] = None,
+    claimed_area: Optional[int] = None,
+    source: Optional[BooleanNetwork] = None,
+    sim_patterns: int = 256,
+    sim_seed: int = 2007,
+) -> List[Diagnostic]:
+    """Audit every ``DD3xx`` invariant of the mapped network ``net``.
+
+    Claims left as ``None`` are not checked; pass ``source`` to enable
+    the DD305 spot simulation against the pre-synthesis network.
+    """
+    diags: List[Diagnostic] = []
+
+    # DD301 — K-feasibility of every cell.
+    for node in net.nodes.values():
+        if len(node.fanins) > k:
+            diags.append(
+                Diagnostic(
+                    "DD301",
+                    f"cell {node.name!r} has {len(node.fanins)} inputs (K = {k})",
+                    where=node.name,
+                )
+            )
+
+    # Independent depth recomputation (Kahn + longest path).
+    depths = _independent_depths(net)
+    if depths is None:
+        # Cyclic or structurally broken network; check_network owns the
+        # structural codes, so only the depth claims are unverifiable.
+        return diags
+
+    po_depths = {
+        po: depths.get(driver, 0) for po, driver in net.pos.items() if driver in depths
+    }
+    recomputed = max(po_depths.values(), default=0)
+    if claimed_depth is not None and claimed_depth != recomputed:
+        diags.append(
+            Diagnostic(
+                "DD302",
+                f"claimed mapping depth {claimed_depth} but recomputation finds {recomputed}",
+            )
+        )
+    if claimed_po_depths is not None:
+        for po, claimed in sorted(claimed_po_depths.items()):
+            actual = po_depths.get(po)
+            if actual is None:
+                diags.append(
+                    Diagnostic(
+                        "DD303", f"claimed depth for unknown PO {po!r}", where=po
+                    )
+                )
+            elif actual != claimed:
+                diags.append(
+                    Diagnostic(
+                        "DD303",
+                        f"PO {po!r} claimed depth {claimed} but recomputation finds {actual}",
+                        where=po,
+                    )
+                )
+        for po in po_depths:
+            if po not in claimed_po_depths:
+                diags.append(
+                    Diagnostic("DD303", f"PO {po!r} missing from claimed depths", where=po)
+                )
+
+    # DD304 — area (LUT count) claim.
+    if claimed_area is not None and claimed_area != len(net.nodes):
+        diags.append(
+            Diagnostic(
+                "DD304",
+                f"claimed area {claimed_area} but the network has {len(net.nodes)} cells",
+            )
+        )
+
+    # DD305 — spot simulation equivalence against the source network.
+    if source is not None:
+        diags.extend(_spot_equivalence(net, source, sim_patterns, sim_seed))
+    return diags
+
+
+def _independent_depths(net: BooleanNetwork) -> Optional[Dict[str, int]]:
+    """Unit-delay depth per signal, or ``None`` if no topological order
+    exists (cycle / undefined fanin)."""
+    depths: Dict[str, int] = {pi: 0 for pi in net.pis}
+    indegree: Dict[str, int] = {}
+    consumers: Dict[str, List[str]] = {}
+    for node in net.nodes.values():
+        count = 0
+        for f in node.fanins:
+            if f in net.nodes:
+                count += 1
+                consumers.setdefault(f, []).append(node.name)
+            elif f not in depths:
+                return None  # undefined fanin
+        indegree[node.name] = count
+    ready = [n for n, d in indegree.items() if d == 0]
+    resolved = 0
+    while ready:
+        name = ready.pop()
+        node = net.nodes[name]
+        depths[name] = 1 + max((depths[f] for f in node.fanins), default=-1)
+        resolved += 1
+        for consumer in consumers.get(name, ()):
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                ready.append(consumer)
+    if resolved != len(net.nodes):
+        return None  # cycle
+    return depths
+
+
+def _spot_equivalence(
+    net: BooleanNetwork, source: BooleanNetwork, patterns: int, seed: int
+) -> List[Diagnostic]:
+    """Random bit-parallel simulation of both networks on shared input
+    words; sound for refutation only (that is all a spot check claims)."""
+    from repro.network.simulate import random_patterns, simulate_outputs
+
+    if set(net.pis) != set(source.pis) or set(net.pos) != set(source.pos):
+        return [
+            Diagnostic(
+                "DD305",
+                "cover interface (PI/PO names) disagrees with the source network",
+            )
+        ]
+    words = random_patterns(sorted(net.pis), patterns, seed=seed)
+    out_net = simulate_outputs(net, words, patterns)
+    out_src = simulate_outputs(source, words, patterns)
+    diags: List[Diagnostic] = []
+    for po in sorted(out_src):
+        if out_net[po] != out_src[po]:
+            diags.append(
+                Diagnostic(
+                    "DD305",
+                    f"PO {po!r} disagrees with the source on at least one of "
+                    f"{patterns} random patterns",
+                    where=po,
+                )
+            )
+    return diags

@@ -1,0 +1,183 @@
+"""Boolean-network invariant checker (``DD1xx``).
+
+:func:`check_network` audits a :class:`~repro.network.netlist.BooleanNetwork`
+beyond what :meth:`BooleanNetwork.check` raises on: name-space
+collisions, fanin/support agreement, self-dependence, duplicate fanins
+and unreachable logic.  It never raises on a bad network — it returns
+the full list of findings so callers can report everything at once.
+
+The checks are deliberately independent of the netlist's own helpers
+where that matters (cycle detection is a local Kahn sort, not
+:func:`repro.network.depth.topological_order`), so a bug in the IR's
+traversal code cannot mask the corruption it caused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.diagnostics import Diagnostic, ERROR, WARNING
+from repro.network.netlist import BooleanNetwork
+
+
+def check_network(net: BooleanNetwork, strict_unreachable: bool = False) -> List[Diagnostic]:
+    """Audit every ``DD1xx`` invariant of ``net``.
+
+    ``strict_unreachable`` promotes DD105 (unreachable logic) from a
+    warning to an error; the flow hooks use that after ``sweep``, which
+    guarantees a dangling-free network.
+    """
+    diags: List[Diagnostic] = []
+    mgr = net.mgr
+
+    # DD104 — name-space integrity.
+    seen_pis: Set[str] = set()
+    for pi in net.pis:
+        if pi in seen_pis:
+            diags.append(
+                Diagnostic("DD104", f"primary input {pi!r} declared twice", where=pi)
+            )
+        seen_pis.add(pi)
+        if pi in net.nodes:
+            diags.append(
+                Diagnostic(
+                    "DD104", f"signal {pi!r} is both a PI and an internal node", where=pi
+                )
+            )
+    for key, node in net.nodes.items():
+        if node.name != key:
+            diags.append(
+                Diagnostic(
+                    "DD104",
+                    f"node registered as {key!r} carries name {node.name!r}",
+                    where=key,
+                )
+            )
+
+    defined = seen_pis | set(net.nodes)
+
+    # DD101 / DD107 — fanin lists.
+    for node in net.nodes.values():
+        fanin_seen: Set[str] = set()
+        for f in node.fanins:
+            if f not in defined:
+                diags.append(
+                    Diagnostic(
+                        "DD101",
+                        f"node {node.name!r} reads undefined signal {f!r}",
+                        where=node.name,
+                    )
+                )
+            if f in fanin_seen:
+                diags.append(
+                    Diagnostic(
+                        "DD107",
+                        f"node {node.name!r} lists fanin {f!r} twice",
+                        where=node.name,
+                    )
+                )
+            fanin_seen.add(f)
+
+    # DD102 — PO bindings (rejects swept-away drivers).
+    for po, driver in net.pos.items():
+        if driver not in defined:
+            diags.append(
+                Diagnostic(
+                    "DD102",
+                    f"PO {po!r} bound to undefined or swept-away signal {driver!r}",
+                    where=po,
+                )
+            )
+
+    # DD106 / DD108 — local function vs. fanin list.  Only meaningful
+    # for nodes whose fanins resolved (else the var lookup fabricates
+    # variables for undefined signals).
+    for node in net.nodes.values():
+        if any(f not in defined for f in node.fanins):
+            continue
+        support = mgr.support(node.func)
+        fanin_vars = {net.var_of(f): f for f in node.fanins}
+        own_var = net.var_of(node.name)
+        if own_var in support:
+            diags.append(
+                Diagnostic(
+                    "DD108",
+                    f"node {node.name!r} depends on its own signal variable",
+                    where=node.name,
+                )
+            )
+            support = support - {own_var}
+        extra = support - set(fanin_vars)
+        missing = [f for v, f in fanin_vars.items() if v not in support]
+        if extra:
+            names = sorted(mgr.var_name(v) for v in extra)
+            diags.append(
+                Diagnostic(
+                    "DD106",
+                    f"node {node.name!r} function reads {names} outside its fanins",
+                    where=node.name,
+                )
+            )
+        if missing:
+            diags.append(
+                Diagnostic(
+                    "DD106",
+                    f"node {node.name!r} lists fanins {sorted(missing)} its function ignores",
+                    where=node.name,
+                )
+            )
+
+    # DD103 — acyclicity, by a local Kahn sort over defined edges.
+    order = _kahn_order(net, defined)
+    if order is None:
+        diags.append(Diagnostic("DD103", "combinational cycle among internal nodes"))
+        return diags  # reachability below needs a DAG
+
+    # DD105 — unreachable logic (transitive fanin of the PO drivers).
+    reachable: Set[str] = set()
+    stack = [d for d in net.pos.values() if d in net.nodes]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        stack.extend(f for f in net.nodes[name].fanins if f in net.nodes)
+    for name in net.nodes:
+        if name not in reachable:
+            diags.append(
+                Diagnostic(
+                    "DD105",
+                    f"node {name!r} drives no primary output",
+                    severity=ERROR if strict_unreachable else WARNING,
+                    where=name,
+                )
+            )
+    return diags
+
+
+def _kahn_order(net: BooleanNetwork, defined: Set[str]) -> "List[str] | None":
+    """Kahn topological order of internal nodes, ``None`` on a cycle.
+
+    Edges to undefined signals are skipped (already reported as DD101).
+    """
+    indegree: Dict[str, int] = {}
+    consumers: Dict[str, List[str]] = {}
+    for node in net.nodes.values():
+        count = 0
+        for f in node.fanins:
+            if f in net.nodes:
+                count += 1
+                consumers.setdefault(f, []).append(node.name)
+        indegree[node.name] = count
+    ready = [n for n, d in indegree.items() if d == 0]
+    order: List[str] = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        for consumer in consumers.get(name, ()):
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                ready.append(consumer)
+    if len(order) != len(net.nodes):
+        return None
+    return order

@@ -356,7 +356,7 @@ class BDDManager:
                 stack.append(self._hi[node])
         return seen
 
-    def eval(self, f: int, assignment) -> bool:
+    def eval(self, f: int, assignment: "Dict[int, bool] | Sequence[bool]") -> bool:
         """Evaluate ``f`` under ``assignment`` (dict var→bool or sequence)."""
         node = f
         while node > 1:

@@ -9,6 +9,9 @@ Subcommands
 ``table``    — regenerate one of the paper's tables (1–5) or the
                Theorem-1 scaling study.
 ``vpr``      — run the VPR-like flow on a mapped BLIF file.
+``check``    — run the IR invariant checkers on a circuit and report
+               structured ``DDxxx`` diagnostics.
+``lint``     — run the project lint pass (``repro.analysis.repolint``).
 """
 
 from __future__ import annotations
@@ -45,7 +48,9 @@ def _save(net, path: str) -> None:
 
 def _cmd_synth(args: argparse.Namespace) -> int:
     net = _load(args.circuit)
-    config = DDBDDConfig(k=args.k, collapse=not args.no_collapse)
+    config = DDBDDConfig(
+        k=args.k, collapse=not args.no_collapse, verify_level=args.verify_level
+    )
     if args.flow == "ddbdd":
         result = ddbdd_synthesize(net, config)
     elif args.flow == "bdspga":
@@ -117,6 +122,13 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("-k", type=int, default=5, help="LUT input size")
     p.add_argument("--no-collapse", action="store_true", help="skip Algorithm 2")
     p.add_argument("--verify", action="store_true", help="check equivalence")
+    p.add_argument(
+        "--verify-level",
+        type=int,
+        choices=[0, 1, 2],
+        default=0,
+        help="stage-boundary IR verification (0=off, 1=structural, 2=full)",
+    )
     p.add_argument("-o", "--output", help="write mapped BLIF here")
     p.set_defaults(func=_cmd_synth)
 
@@ -142,6 +154,17 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("circuit", help="BLIF path or named benchmark")
     p.set_defaults(func=_cmd_stats)
 
+    p = sub.add_parser("check", help="run IR invariant checkers on a circuit")
+    p.add_argument("circuit", help="BLIF path or named benchmark")
+    p.add_argument(
+        "--bdd", action="store_true", help="also audit the circuit's BDD manager"
+    )
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("lint", help="run the project lint pass (repolint)")
+    p.add_argument("paths", nargs="+", help="files or directories to lint")
+    p.set_defaults(func=_cmd_lint)
+
     args = parser.parse_args(argv)
     return args.func(args)
 
@@ -162,6 +185,27 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
     print(f"NOT EQUIVALENT: output {eq.failing_output} differs; "
           f"counterexample {eq.counterexample}")
     return 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import check_bdd_manager, check_network, errors_of
+
+    net = _load(args.circuit)
+    diags = check_network(net)
+    if args.bdd:
+        diags += check_bdd_manager(net.mgr, roots=[n.func for n in net.nodes.values()])
+    for d in diags:
+        print(d.describe())
+    errors = errors_of(diags)
+    warnings = len(diags) - len(errors)
+    print(f"check: {len(errors)} error(s), {warnings} warning(s)")
+    return 1 if errors else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.repolint import main as repolint_main
+
+    return repolint_main(args.paths)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

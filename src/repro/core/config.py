@@ -73,6 +73,17 @@ class DDBDDConfig:
     verify:
         Check each supernode's emitted sub-network against its BDD
         function during synthesis (cheap; keeps the flow honest).
+    verify_level:
+        Stage-boundary IR verification (see
+        :mod:`repro.analysis.hooks`).  ``0`` (default) disables it;
+        ``1`` runs the structural network checkers after sweep, partial
+        collapse and PO binding plus the final LUT-cover audit; ``2``
+        adds BDD-manager audits, per-supernode network re-checks, the
+        exact per-supernode emission verification (implies ``verify``)
+        and a simulation-based equivalence spot check against the
+        source.  Violations raise
+        :class:`repro.analysis.diagnostics.VerificationError` with
+        stable ``DDxxx`` codes.
     """
 
     k: int = 5
@@ -90,6 +101,7 @@ class DDBDDConfig:
     timing_aware_reorder: bool = False
     area_recovery: bool = False
     verify: bool = False
+    verify_level: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -98,3 +110,10 @@ class DDBDDConfig:
             raise ValueError("cut-size threshold must be at least 2")
         if self.reorder_effort not in ("none", "auto", "sift", "exact"):
             raise ValueError(f"unknown reorder effort {self.reorder_effort!r}")
+        if self.verify_level not in (0, 1, 2):
+            raise ValueError(f"verify_level must be 0, 1 or 2, got {self.verify_level!r}")
+
+    @property
+    def verify_emission(self) -> bool:
+        """Whether the DP should verify each supernode's emitted cone."""
+        return self.verify or self.verify_level >= 2

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.hooks import StageVerifier
 from repro.core.collapse import CollapseStats, partial_collapse
 from repro.core.config import DDBDDConfig
 from repro.core.dp import BDDSynthesizer, SupernodeResult
@@ -54,12 +55,15 @@ def ddbdd_synthesize(
     """Synthesize ``net`` into a K-LUT network optimized for depth."""
     config = config or DDBDDConfig()
     start = time.perf_counter()
+    verifier = StageVerifier(config.verify_level, config.k)
 
     work = net.copy(net.name + "_work")
     sweep(work)
+    verifier.after_sweep(work)
     collapse_stats: Optional[CollapseStats] = None
     if config.collapse:
         collapse_stats = partial_collapse(work, config)
+        verifier.after_collapse(work)
 
     mapped = BooleanNetwork(net.name + "_ddbdd")
     for pi in net.pis:
@@ -106,6 +110,7 @@ def ddbdd_synthesize(
         resolve[name] = (sig, neg, depth)
         external.add(sig)
         supernode_results.append(result)
+        verifier.after_supernode(mapped, name, mgr=synth.mgr, func=synth.func)
 
     po_depths: Dict[str, int] = {}
     for po, driver in work.pos.items():
@@ -120,6 +125,7 @@ def ddbdd_synthesize(
         po_depths[po] = depth
 
     mapped.check()
+    verifier.after_po_binding(mapped)
     depth = max(po_depths.values(), default=0)
     assert depth == network_depth(mapped), "structural depth disagrees with DP depths"
     if mapped.max_fanin() > config.k:
@@ -148,6 +154,7 @@ def ddbdd_synthesize(
 
     po_depths = output_depths(mapped)
     depth = max(po_depths.values(), default=0)
+    verifier.final(mapped, depth, po_depths, len(mapped.nodes), source=net)
 
     return SynthesisResult(
         network=mapped,

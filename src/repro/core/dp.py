@@ -24,7 +24,6 @@ as K-LUT nodes in a target :class:`~repro.network.netlist.BooleanNetwork`.
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -35,10 +34,12 @@ from repro.core.binpack import Box, PackedBin, pack_or_gates
 from repro.core.config import DDBDDConfig
 from repro.core.linear import Candidate, Gate, KIND_PRIORITY, State, candidates_for_cut
 from repro.network.netlist import BooleanNetwork
+from repro.utils import recursion_headroom
 
 # The DP recursion nests one level per cut level; deep BDDs (by paper
 # bound: <~25 inputs) stay far below this, but synthetic stress tests
-# may not.
+# may not.  Entry points take scoped headroom instead of raising the
+# limit persistently (a leaked raise trips hypothesis's limit guard).
 _MIN_RECURSION = 20_000
 
 
@@ -85,20 +86,19 @@ class BDDSynthesizer:
         config: Optional[DDBDDConfig] = None,
     ) -> None:
         self.config = config or DDBDDConfig()
-        if sys.getrecursionlimit() < _MIN_RECURSION:
-            sys.setrecursionlimit(_MIN_RECURSION)
         effort = self.config.reorder_effort
         if effort == "auto":
             size = mgr.count_nodes(func)
             nsup = len(mgr.support(func))
             effort = "sift" if (size > 12 and nsup >= 4) else "none"
         arrivals_differ = len(set(input_delays.values())) > 1
-        if self.config.timing_aware_reorder and arrivals_differ:
-            from repro.core.timing_reorder import timing_sift
+        with recursion_headroom(_MIN_RECURSION):
+            if self.config.timing_aware_reorder and arrivals_differ:
+                from repro.core.timing_reorder import timing_sift
 
-            self.mgr, self.func, _ = timing_sift(mgr, func, input_delays)
-        else:
-            self.mgr, self.func, _ = reorder_for_size(mgr, func, effort)
+                self.mgr, self.func, _ = timing_sift(mgr, func, input_delays)
+            else:
+                self.mgr, self.func, _ = reorder_for_size(mgr, func, effort)
         # Map private-manager variables back to the caller's ids (the
         # transfer preserves variable ids, so this is the identity; kept
         # explicit in case that changes).
@@ -123,7 +123,8 @@ class BDDSynthesizer:
         """
         if self.mgr.is_terminal(self.func):
             raise ValueError("constant functions are not synthesized by the DP")
-        return self.delay(self.root_state)
+        with recursion_headroom(_MIN_RECURSION):
+            return self.delay(self.root_state)
 
     def full_table(self) -> int:
         """Fill the DP table in the paper's bottom-up order.
@@ -137,12 +138,13 @@ class BDDSynthesizer:
         """
         lb = self.lb
         n = lb.depth
-        for l in range(n):
-            for u in lb.nodes:
-                if lb.level(u) + l > n - 1:
-                    continue
-                for v in lb.cut_set(u, l):
-                    self.delay((u, l, v))
+        with recursion_headroom(_MIN_RECURSION):
+            for l in range(n):
+                for u in lb.nodes:
+                    if lb.level(u) + l > n - 1:
+                        continue
+                    for v in lb.cut_set(u, l):
+                        self.delay((u, l, v))
         return len(self._delay)
 
     def delay(self, state: State) -> int:
@@ -251,6 +253,15 @@ class BDDSynthesizer:
         must match ``input_delays``.  Returns the output signal (with
         polarity — a bare-literal function resolves to an input signal).
         """
+        with recursion_headroom(_MIN_RECURSION):
+            return self._emit(net, leaf_signals, prefix)
+
+    def _emit(
+        self,
+        net: BooleanNetwork,
+        leaf_signals: Dict[int, Tuple[str, bool, int]],
+        prefix: str,
+    ) -> SupernodeResult:
         for var, (_, _, d) in leaf_signals.items():
             if d != self.input_delays.get(var, d):
                 raise ValueError("leaf depth disagrees with input_delays")
@@ -360,7 +371,7 @@ class BDDSynthesizer:
 
         out = signal(self.root_state)
         assert out[2] <= root_delay, "emission deeper than the DP bound"
-        if self.config.verify:
+        if self.config.verify_emission:
             self._verify_emission(net, out, leaf_signals, luts_snapshot=emitted)
         return SupernodeResult(
             signal=out[0],

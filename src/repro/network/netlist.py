@@ -239,7 +239,20 @@ class BooleanNetwork:
         return max((len(n.fanins) for n in self.nodes.values()), default=0)
 
     def check(self) -> None:
-        """Validate structure: defined fanins, acyclicity, PO drivers."""
+        """Validate structure: name-space integrity (no PI/node
+        collisions, no duplicate PIs), defined fanins, acyclicity, and
+        PO drivers that still exist (rejects POs left bound to
+        swept-away signals)."""
+        if len(set(self.pis)) != len(self.pis):
+            seen: Set[str] = set()
+            for pi in self.pis:
+                if pi in seen:
+                    raise NetworkError(f"primary input {pi!r} declared twice")
+                seen.add(pi)
+        collisions = self._pi_set & set(self.nodes)
+        if collisions:
+            name = sorted(collisions)[0]
+            raise NetworkError(f"signal {name!r} is both a PI and an internal node")
         defined = set(self.pis) | set(self.nodes)
         for node in self.nodes.values():
             for f in node.fanins:
@@ -247,7 +260,9 @@ class BooleanNetwork:
                     raise NetworkError(f"node {node.name!r} uses undefined signal {f!r}")
         for po, driver in self.pos.items():
             if driver not in defined:
-                raise NetworkError(f"PO {po!r} bound to undefined signal {driver!r}")
+                raise NetworkError(
+                    f"PO {po!r} bound to undefined or swept-away signal {driver!r}"
+                )
         # Acyclicity via the topological sort (raises on cycles).
         from repro.network.depth import topological_order
 

@@ -83,6 +83,10 @@ def sweep(net: BooleanNetwork) -> int:
                 changed = True
         removed_now = remove_dangling(net)
         changed = changed or removed_now > 0
+    if __debug__:
+        # Debug-mode audit: substitution must never leave a PO bound to
+        # a removed signal or break the DAG (python -O skips this).
+        net.check()
     return before - len(net.nodes)
 
 

@@ -1,0 +1,96 @@
+"""DD2xx: BDD-manager invariant checker."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import check_bdd_manager, errors_of, has_code
+from repro.bdd.manager import BDDManager
+from repro.bdd.reorder import sift_inplace
+
+from tests.conftest import random_truth_function
+
+
+def _mgr_and() -> "tuple[BDDManager, int]":
+    mgr = BDDManager(3, var_names=["a", "b", "c"])
+    f = mgr.apply_and(mgr.apply_and(mgr.var(0), mgr.var(1)), mgr.var(2))
+    return mgr, f
+
+
+def test_clean_manager_has_no_findings():
+    mgr, f = _mgr_and()
+    assert check_bdd_manager(mgr) == []
+    assert check_bdd_manager(mgr, roots=[f]) == []
+
+
+def test_clean_random_functions():
+    rng = random.Random(7)
+    mgr = BDDManager(6)
+    roots = [random_truth_function(mgr, 6, rng) for _ in range(10)]
+    assert errors_of(check_bdd_manager(mgr, roots=roots)) == []
+
+
+def test_sifted_manager_stays_clean():
+    rng = random.Random(11)
+    mgr = BDDManager(7)
+    f = random_truth_function(mgr, 7, rng)
+    sift_inplace(mgr, f)
+    # Live-set audit must hold even after in-place level swaps (a whole
+    # store audit may not: dead nodes legally carry stale structure).
+    assert errors_of(check_bdd_manager(mgr, roots=[f])) == []
+
+
+def test_dd202_edge_order_mutant():
+    mgr, f = _mgr_and()
+    # Corrupt: retarget an internal node's variable to its parent's, so
+    # a 1-edge no longer descends in the order.
+    child = mgr.hi(f)
+    assert child > 1
+    mgr._var[child] = mgr.top_var(f)
+    diags = check_bdd_manager(mgr, roots=[f])
+    assert has_code(diags, "DD202")
+
+
+def test_dd203_unreduced_node_mutant():
+    mgr, f = _mgr_and()
+    mgr._lo[f] = mgr.hi(f)
+    assert has_code(check_bdd_manager(mgr, roots=[f]), "DD203")
+
+
+def test_dd204_unique_table_mutant():
+    mgr, f = _mgr_and()
+    key = mgr.node(f)
+    mgr._unique[key] = mgr.hi(f)  # wrong id for the triple
+    assert has_code(check_bdd_manager(mgr, roots=[f]), "DD204")
+
+
+def test_dd204_live_node_missing_from_unique_table():
+    mgr, f = _mgr_and()
+    del mgr._unique[mgr.node(f)]
+    assert has_code(check_bdd_manager(mgr, roots=[f]), "DD204")
+    # Whole-store audits tolerate it (dead nodes after sifting).
+    assert not has_code(check_bdd_manager(mgr), "DD204")
+
+
+def test_dd205_compute_cache_mutant():
+    mgr, f = _mgr_and()
+    mgr._ite_cache[(f, 1, 0)] = mgr.num_nodes + 5
+    assert has_code(check_bdd_manager(mgr), "DD205")
+    mgr.clear_caches()
+    g = mgr.negate(f)
+    # Pair two nodes testing different variables as "complements".
+    mgr._not_cache[f] = mgr.hi(g) if mgr.hi(g) > 1 else mgr.lo(g)
+    diags = check_bdd_manager(mgr)
+    assert has_code(diags, "DD205")
+
+
+def test_dd206_order_map_mutant():
+    mgr, f = _mgr_and()
+    mgr._level_of[0], mgr._level_of[1] = mgr._level_of[1], mgr._level_of[0]
+    assert has_code(check_bdd_manager(mgr), "DD206")
+
+
+def test_dd201_terminal_mutant():
+    mgr, _ = _mgr_and()
+    mgr._lo[1] = 0
+    assert has_code(check_bdd_manager(mgr), "DD201")

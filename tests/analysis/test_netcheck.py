@@ -1,0 +1,116 @@
+"""DD1xx: Boolean-network invariant checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_network, errors_of, has_code
+from repro.analysis.diagnostics import Diagnostic, VerificationError, raise_on_errors
+from repro.network.netlist import BooleanNetwork, Node
+
+from tests.conftest import random_gate_network
+
+
+def _net_ab() -> BooleanNetwork:
+    net = BooleanNetwork("t")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("g", "and", ["a", "b"])
+    net.add_po("o", "g")
+    return net
+
+
+def test_clean_network_has_no_findings():
+    assert check_network(_net_ab()) == []
+
+
+def test_clean_random_networks():
+    for seed in range(5):
+        net = random_gate_network(seed)
+        assert errors_of(check_network(net)) == []
+
+
+def test_dd101_undefined_fanin():
+    net = _net_ab()
+    net.nodes["g"].fanins.append("ghost")
+    diags = check_network(net)
+    assert has_code(diags, "DD101")
+
+
+def test_dd102_po_bound_to_swept_signal():
+    net = _net_ab()
+    net.add_po("o2", "gone")
+    assert has_code(check_network(net), "DD102")
+
+
+def test_dd103_cycle():
+    net = _net_ab()
+    net.add_gate("h", "not", ["g"])
+    # Manually create a cycle g <-> h.
+    net.nodes["g"].fanins.append("h")
+    diags = check_network(net)
+    assert has_code(diags, "DD103")
+
+
+def test_dd104_pi_node_collision():
+    net = _net_ab()
+    net.nodes["a"] = Node("a", ["b"], net.mgr.var(net.var_of("b")))
+    assert has_code(check_network(net), "DD104")
+
+
+def test_dd104_duplicate_pi():
+    net = _net_ab()
+    net.pis.append("a")
+    assert has_code(check_network(net), "DD104")
+
+
+def test_dd105_unreachable_logic_is_warning():
+    net = _net_ab()
+    net.add_gate("dangling", "or", ["a", "b"])
+    diags = check_network(net)
+    assert has_code(diags, "DD105")
+    assert errors_of(diags) == []
+    strict = check_network(net, strict_unreachable=True)
+    assert errors_of(strict) != []
+
+
+def test_dd106_support_fanin_mismatch():
+    net = _net_ab()
+    # Function reads b but the fanin list claims only a.
+    net.nodes["g"].fanins = ["a"]
+    diags = check_network(net)
+    assert has_code(diags, "DD106")
+    # And the converse: a listed fanin the function ignores.
+    net2 = _net_ab()
+    net2.nodes["g"].func = net2.mgr.var(net2.var_of("a"))
+    assert has_code(check_network(net2), "DD106")
+
+
+def test_dd107_duplicate_fanin():
+    net = _net_ab()
+    net.nodes["g"].fanins = ["a", "b", "a"]
+    assert has_code(check_network(net), "DD107")
+
+
+def test_dd108_self_dependence():
+    net = _net_ab()
+    g = net.nodes["g"]
+    g.func = net.mgr.apply_and(g.func, net.mgr.var(net.var_of("g")))
+    g.fanins = ["a", "b", "g"]
+    diags = check_network(net)
+    assert has_code(diags, "DD108")
+
+
+def test_raise_on_errors_carries_diagnostics():
+    net = _net_ab()
+    net.add_po("bad", "missing")
+    diags = check_network(net)
+    with pytest.raises(VerificationError) as exc:
+        raise_on_errors(diags, stage="unit")
+    assert exc.value.stage == "unit"
+    assert any(d.code == "DD102" for d in exc.value.diagnostics)
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("DD999", "nope")

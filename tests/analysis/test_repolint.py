@@ -1,0 +1,107 @@
+"""The AST-based project lint gate."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.repolint import RULES, lint_paths, lint_source, main
+
+
+def _codes(source: str) -> "list[str]":
+    return [f.code for f in lint_source(source)]
+
+
+def test_rl001_mutable_defaults():
+    assert "RL001" in _codes("def f(x=[]):\n    pass\n")
+    assert "RL001" in _codes("def f(x={}):\n    pass\n")
+    assert "RL001" in _codes("def f(*, x=set()):\n    pass\n")
+    assert "RL001" in _codes("def f(x=dict(a=1)):\n    pass\n")
+    assert "RL001" in _codes("def f(x=[i for i in range(3)]):\n    pass\n")
+    assert "RL001" not in _codes("def f(x=()):\n    pass\n")
+    assert "RL001" not in _codes("def f(x=None):\n    pass\n")
+    assert "RL001" not in _codes("def f(x=frozenset()):\n    pass\n")
+
+
+def test_rl002_bare_except():
+    bad = "try:\n    pass\nexcept:\n    pass\n"
+    assert "RL002" in _codes(bad)
+    good = "try:\n    pass\nexcept ValueError:\n    pass\n"
+    assert "RL002" not in _codes(good)
+    nested = "def f() -> None:\n    try:\n        pass\n    except:\n        pass\n"
+    assert "RL002" in _codes(nested)
+
+
+def test_rl003_truth_table_documentation():
+    undocumented = "def from_tt(bits, n):\n    return bits\n"
+    assert "RL003" in _codes(undocumented)
+    documented = (
+        'def from_tt(bits, n):\n'
+        '    """Build from a truth table of 2**n bits."""\n'
+        '    return bits\n'
+    )
+    assert "RL003" not in _codes(documented)
+    unrelated = "def f(words, n):\n    return words\n"
+    assert "RL003" not in _codes(unrelated)
+
+
+def test_rl004_public_annotation_coverage():
+    assert "RL004" in _codes("def api(x):\n    return x\n")
+    assert "RL004" in _codes("def api(x: int):\n    return x\n")
+    assert "RL004" not in _codes("def api(x: int) -> int:\n    return x\n")
+    # Private helpers, nested functions and dunders are exempt.
+    assert "RL004" not in _codes("def _helper(x):\n    return x\n")
+    assert "RL004" not in _codes(
+        "def api() -> None:\n    def inner(x):\n        return x\n"
+    )
+    assert "RL004" not in _codes("class C:\n    def __init__(self, x):\n        pass\n")
+    # Methods of public classes are public surface; self is exempt.
+    assert "RL004" in _codes("class C:\n    def m(self, x):\n        pass\n")
+    assert "RL004" not in _codes("class _C:\n    def m(self, x):\n        pass\n")
+    assert "RL004" not in _codes(
+        "class C:\n    def m(self, x: int) -> int:\n        return x\n"
+    )
+
+
+def test_suppression_comment():
+    src = "def api(x):  # repolint: disable=RL004\n    return x\n"
+    assert "RL004" not in _codes(src)
+    # Disabling one rule does not disable others on the same line.
+    src2 = "def api(x=[]):  # repolint: disable=RL004\n    return x\n"
+    codes = _codes(src2)
+    assert "RL001" in codes and "RL004" not in codes
+
+
+def test_findings_carry_location():
+    findings = lint_source("def api(x):\n    return x\n", path="mod.py")
+    assert findings and findings[0].path == "mod.py"
+    assert findings[0].line == 1
+    assert "mod.py:1:" in findings[0].render()
+
+
+def test_repo_source_tree_is_clean():
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert src.is_dir()
+    findings = lint_paths([src])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def api(x: int) -> int:\n    return x\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def api(x=[]):\n    return x\n")
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    assert "RL001" in capsys.readouterr().out
+    assert main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_rl000_unparsable_file():
+    findings = lint_source("def broken(:\n", path="bad.py")
+    assert [f.code for f in findings] == ["RL000"]
+    assert "unparsable" in findings[0].message
+
+
+def test_rules_registry_matches_docs():
+    for code in ("RL000", "RL001", "RL002", "RL003", "RL004"):
+        assert code in RULES

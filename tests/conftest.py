@@ -3,8 +3,16 @@
 from __future__ import annotations
 
 import random
+import sys
 
 import pytest
+
+# Library entry points take scoped recursion headroom and restore the
+# limit on exit (see repro.utils.recursion_headroom); give the test
+# process a generous ambient floor up front so deep-recursion paths
+# outside those scopes (big shared-manager ITE chains, equivalence
+# walks) never depend on a leaked limit from an earlier test.
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
 
 from repro.bdd.manager import BDDManager
 from repro.network.netlist import BooleanNetwork

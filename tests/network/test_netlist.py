@@ -153,3 +153,35 @@ class TestEditing:
         dup.remove_node("g2")
         assert "g2" in net.nodes
         assert "g2" not in dup.nodes
+
+
+class TestHardenedCheck:
+    def test_check_rejects_pi_node_collision(self):
+        from repro.network.netlist import Node
+
+        net = small_net()
+        net.nodes["a"] = Node("a", ["b"], net.mgr.var(net.var_of("b")))
+        with pytest.raises(NetworkError, match="both a PI and an internal node"):
+            net.check()
+
+    def test_check_rejects_duplicate_pi(self):
+        net = small_net()
+        net.pis.append("a")
+        with pytest.raises(NetworkError, match="declared twice"):
+            net.check()
+
+    def test_check_rejects_po_bound_to_swept_signal(self):
+        net = small_net()
+        net.add_po("late", "g2")
+        net.remove_node("g2")
+        with pytest.raises(NetworkError, match="swept-away"):
+            net.check()
+
+    def test_sweep_runs_debug_check(self):
+        # sweep() audits the network in debug mode; a healthy network
+        # must come through unchanged and checked.
+        from repro.network.transform import sweep
+
+        net = small_net()
+        sweep(net)
+        net.check()
