@@ -1,0 +1,123 @@
+"""Runtime-subsystem benchmark: serial vs parallel vs warm-cache.
+
+Synthesizes the Table I benchgen suite four ways —
+
+* ``serial``      — the reference loop (``jobs=1``, cache off),
+* ``jobs4``       — four-worker wavefront engine, cache off,
+* ``cache_cold``  — serial wavefront engine populating an empty cache,
+* ``cache_warm``  — the same run again, now fully cache-hitting —
+
+and writes the wall times plus speedups to ``BENCH_runtime.json`` at the
+repo root (the perf-trajectory seed the CI history builds on).  Every
+configuration's depth/area must match the reference exactly; the script
+fails loudly if the determinism contract breaks.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_runtime.py [--out FILE]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.benchgen import TABLE1_SUITE, build_circuit
+from repro.core import DDBDDConfig, ddbdd_synthesize
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run_suite(circuits: List[str], config: DDBDDConfig) -> Dict[str, dict]:
+    """Synthesize every circuit; returns per-circuit time/depth/area."""
+    rows: Dict[str, dict] = {}
+    for name in circuits:
+        net = build_circuit(name)
+        t0 = time.perf_counter()
+        result = ddbdd_synthesize(net, config)
+        rows[name] = {
+            "seconds": round(time.perf_counter() - t0, 4),
+            "depth": result.depth,
+            "area": result.area,
+        }
+    return rows
+
+
+def run_bench(
+    circuits: Optional[List[str]] = None, jobs: int = 4
+) -> dict:
+    """Run all four configurations; returns the report object."""
+    circuits = list(circuits or TABLE1_SUITE)
+    cache_dir = tempfile.mkdtemp(prefix="ddbdd_bench_cache_")
+    try:
+        configs = {
+            "serial": DDBDDConfig(jobs=1, cache="off"),
+            f"jobs{jobs}": DDBDDConfig(jobs=jobs, cache="off"),
+            "cache_cold": DDBDDConfig(
+                jobs=1, cache="readwrite", cache_dir=cache_dir
+            ),
+            "cache_warm": DDBDDConfig(
+                jobs=1, cache="readwrite", cache_dir=cache_dir
+            ),
+        }
+        runs = {label: _run_suite(circuits, cfg) for label, cfg in configs.items()}
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    reference = runs["serial"]
+    for label, rows in runs.items():
+        for name in circuits:
+            got = (rows[name]["depth"], rows[name]["area"])
+            want = (reference[name]["depth"], reference[name]["area"])
+            if got != want:
+                raise AssertionError(
+                    f"{label}/{name}: depth/area {got} != serial {want} "
+                    "(determinism contract broken)"
+                )
+
+    totals = {
+        label: round(sum(r["seconds"] for r in rows.values()), 4)
+        for label, rows in runs.items()
+    }
+    serial_total = totals["serial"]
+    return {
+        "suite": circuits,
+        "jobs": jobs,
+        "totals_seconds": totals,
+        "speedup_vs_serial": {
+            label: round(serial_total / t, 3) if t > 0 else None
+            for label, t in totals.items()
+        },
+        "per_circuit": runs,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_runtime.json"),
+        help="report path (default: BENCH_runtime.json at the repo root)",
+    )
+    parser.add_argument("--jobs", type=int, default=4, help="parallel worker count")
+    parser.add_argument(
+        "--circuits", nargs="*", default=None, help="benchgen circuit names"
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(args.circuits, jobs=args.jobs)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    warm = report["speedup_vs_serial"]["cache_warm"]
+    par = report["speedup_vs_serial"][f"jobs{args.jobs}"]
+    print(
+        f"serial {report['totals_seconds']['serial']:.2f}s | "
+        f"jobs={args.jobs} {par}x | warm cache {warm}x -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

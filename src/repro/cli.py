@@ -48,8 +48,16 @@ def _save(net, path: str) -> None:
 
 def _cmd_synth(args: argparse.Namespace) -> int:
     net = _load(args.circuit)
+    kwargs = {}
+    if args.jobs is not None:
+        kwargs["jobs"] = args.jobs
     config = DDBDDConfig(
-        k=args.k, collapse=not args.no_collapse, verify_level=args.verify_level
+        k=args.k,
+        collapse=not args.no_collapse,
+        verify_level=args.verify_level,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+        **kwargs,
     )
     if args.flow == "ddbdd":
         result = ddbdd_synthesize(net, config)
@@ -60,6 +68,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     else:
         result = abc_flow(net, k=args.k)
     print(f"{args.flow}: depth={result.depth} area={result.area} LUTs (K={args.k})")
+    if args.stats:
+        stats = getattr(result, "runtime_stats", None)
+        if stats is not None:
+            print(stats.render())
+        else:
+            print(f"runtime: no stage telemetry for the {args.flow} flow")
     if args.verify:
         eq = check_equivalence(net, result.network)
         print(f"equivalence: {'PASS' if eq.equivalent else 'FAIL'} ({eq.method})")
@@ -128,6 +142,27 @@ def main(argv: Optional[list] = None) -> int:
         choices=[0, 1, 2],
         default=0,
         help="stage-boundary IR verification (0=off, 1=structural, 2=full)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for supernode synthesis "
+        "(default: $DDBDD_JOBS or 1; 0 = all CPUs)",
+    )
+    p.add_argument(
+        "--cache",
+        choices=["off", "read", "readwrite"],
+        default="off",
+        help="persistent DP-emission cache mode",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".ddbdd_cache",
+        help="cache directory (default: .ddbdd_cache)",
+    )
+    p.add_argument(
+        "--stats", action="store_true", help="print runtime telemetry after synthesis"
     )
     p.add_argument("-o", "--output", help="write mapped BLIF here")
     p.set_defaults(func=_cmd_synth)

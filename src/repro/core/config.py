@@ -8,7 +8,20 @@ dynamic program.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+
+
+def _default_jobs() -> int:
+    """Worker count default: the ``DDBDD_JOBS`` environment variable
+    when set (useful for CI sweeps), else 1 (serial)."""
+    raw = os.environ.get("DDBDD_JOBS", "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return 1
 
 
 @dataclass
@@ -84,6 +97,21 @@ class DDBDDConfig:
         source.  Violations raise
         :class:`repro.analysis.diagnostics.VerificationError` with
         stable ``DDxxx`` codes.
+    jobs:
+        Worker processes for supernode synthesis.  ``1`` (default) runs
+        the reference serial loop; ``0`` means "all CPUs"; ``N > 1``
+        runs topological wavefronts on a process pool (bit-identical
+        output — see :mod:`repro.runtime`).  Defaults to the
+        ``DDBDD_JOBS`` environment variable when set.
+    cache:
+        Persistent DP-emission cache mode: ``"off"`` (default, no cache
+        I/O), ``"read"`` (reuse existing entries, never write) or
+        ``"readwrite"`` (reuse and populate).  Cached emissions are
+        re-verified by spot simulation when ``verify_level >= 1``.
+    cache_dir:
+        Root directory of the on-disk cache.
+    cache_max_entries:
+        LRU size cap of the cache (entries, not bytes).
     """
 
     k: int = 5
@@ -102,6 +130,10 @@ class DDBDDConfig:
     area_recovery: bool = False
     verify: bool = False
     verify_level: int = 0
+    jobs: int = field(default_factory=_default_jobs)
+    cache: str = "off"
+    cache_dir: str = ".ddbdd_cache"
+    cache_max_entries: int = 8192
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -112,8 +144,21 @@ class DDBDDConfig:
             raise ValueError(f"unknown reorder effort {self.reorder_effort!r}")
         if self.verify_level not in (0, 1, 2):
             raise ValueError(f"verify_level must be 0, 1 or 2, got {self.verify_level!r}")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means all CPUs)")
+        if self.cache not in ("off", "read", "readwrite"):
+            raise ValueError(f"cache must be off, read or readwrite, got {self.cache!r}")
+        if self.cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be positive")
 
     @property
     def verify_emission(self) -> bool:
         """Whether the DP should verify each supernode's emitted cone."""
         return self.verify or self.verify_level >= 2
+
+    @property
+    def effective_jobs(self) -> int:
+        """Resolved worker count (``jobs == 0`` becomes the CPU count)."""
+        if self.jobs == 0:
+            return os.cpu_count() or 1
+        return self.jobs

@@ -17,7 +17,7 @@ of LUTs).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.hooks import StageVerifier
@@ -27,6 +27,7 @@ from repro.core.dp import BDDSynthesizer, SupernodeResult
 from repro.network.depth import network_depth, topological_order
 from repro.network.netlist import BooleanNetwork
 from repro.network.transform import sweep
+from repro.runtime.stats import RuntimeStats
 
 
 @dataclass
@@ -41,6 +42,7 @@ class SynthesisResult:
     supernodes: List[SupernodeResult]
     runtime_s: float
     config: DDBDDConfig
+    runtime_stats: Optional[RuntimeStats] = None
 
     def summary(self) -> str:
         return (
@@ -56,13 +58,16 @@ def ddbdd_synthesize(
     config = config or DDBDDConfig()
     start = time.perf_counter()
     verifier = StageVerifier(config.verify_level, config.k)
+    stats = RuntimeStats(jobs=config.effective_jobs, cache_mode=config.cache)
 
     work = net.copy(net.name + "_work")
-    sweep(work)
+    with stats.stage("sweep"):
+        sweep(work)
     verifier.after_sweep(work)
     collapse_stats: Optional[CollapseStats] = None
     if config.collapse:
-        collapse_stats = partial_collapse(work, config)
+        with stats.stage("collapse"):
+            collapse_stats = partial_collapse(work, config)
         verifier.after_collapse(work)
 
     mapped = BooleanNetwork(net.name + "_ddbdd")
@@ -77,6 +82,43 @@ def ddbdd_synthesize(
     external: set = set(work.pis)
     supernode_results: List[SupernodeResult] = []
 
+    # The wavefront/cache engine (repro.runtime) is contractually
+    # output-identical to the serial loop below; jobs=1 with the cache
+    # off keeps the reference path.
+    if config.effective_jobs != 1 or config.cache != "off":
+        from repro.runtime.schedule import run_wavefronts
+
+        with stats.stage("supernodes"):
+            supernode_results = run_wavefronts(
+                work, mapped, config, verifier, resolve, external, stats
+            )
+        return _finish(
+            net, work, mapped, config, verifier, resolve,
+            collapse_stats, supernode_results, start, stats,
+        )
+
+    with stats.stage("supernodes"):
+        serial_results = _serial_supernodes(
+            work, mapped, config, verifier, resolve, external
+        )
+    supernode_results = serial_results
+    stats.supernodes = len(supernode_results)
+    return _finish(
+        net, work, mapped, config, verifier, resolve,
+        collapse_stats, supernode_results, start, stats,
+    )
+
+
+def _serial_supernodes(
+    work: BooleanNetwork,
+    mapped: BooleanNetwork,
+    config: DDBDDConfig,
+    verifier: StageVerifier,
+    resolve: Dict[str, Tuple[str, bool, int]],
+    external: set,
+) -> List[SupernodeResult]:
+    """The reference serial supernode loop (Algorithm 1, step 3)."""
+    supernode_results: List[SupernodeResult] = []
     for name in topological_order(work):
         node = work.nodes[name]
         mgr = work.mgr
@@ -111,7 +153,23 @@ def ddbdd_synthesize(
         external.add(sig)
         supernode_results.append(result)
         verifier.after_supernode(mapped, name, mgr=synth.mgr, func=synth.func)
+    return supernode_results
 
+
+def _finish(
+    net: BooleanNetwork,
+    work: BooleanNetwork,
+    mapped: BooleanNetwork,
+    config: DDBDDConfig,
+    verifier: StageVerifier,
+    resolve: Dict[str, Tuple[str, bool, int]],
+    collapse_stats: Optional[CollapseStats],
+    supernode_results: List[SupernodeResult],
+    start: float,
+    stats: RuntimeStats,
+) -> SynthesisResult:
+    """PO binding, invariant checks and post-processing (Algorithm 1,
+    step 4 onward) — shared by the serial and wavefront engines."""
     po_depths: Dict[str, int] = {}
     for po, driver in work.pos.items():
         sig, neg, depth = resolve[driver]
@@ -139,17 +197,18 @@ def ddbdd_synthesize(
     from repro.mapping.netcover import cover_network
     from repro.network.transform import merge_duplicates
 
-    merge_duplicates(mapped)
-    if config.final_packing:
-        # Depth-optimal re-covering of the emitted gates by K-LUT
-        # cells, then residual single-fanout merges.
-        mapped = cover_network(mapped, config.k)
+    with stats.stage("postprocess"):
         merge_duplicates(mapped)
-        lut_pack(mapped, config.k)
-    if config.area_recovery:
-        from repro.core.area import area_recovery
+        if config.final_packing:
+            # Depth-optimal re-covering of the emitted gates by K-LUT
+            # cells, then residual single-fanout merges.
+            mapped = cover_network(mapped, config.k)
+            merge_duplicates(mapped)
+            lut_pack(mapped, config.k)
+        if config.area_recovery:
+            from repro.core.area import area_recovery
 
-        area_recovery(mapped, config.k)
+            area_recovery(mapped, config.k)
     from repro.network.depth import output_depths
 
     po_depths = output_depths(mapped)
@@ -165,6 +224,7 @@ def ddbdd_synthesize(
         supernodes=supernode_results,
         runtime_s=time.perf_counter() - start,
         config=config,
+        runtime_stats=stats,
     )
 
 

@@ -32,9 +32,9 @@ from repro.bdd.manager import BDDManager
 from repro.bdd.reorder import reorder_for_size
 from repro.core.binpack import Box, PackedBin, pack_or_gates
 from repro.core.config import DDBDDConfig
-from repro.core.linear import Candidate, Gate, KIND_PRIORITY, State, candidates_for_cut
+from repro.core.linear import Candidate, KIND_PRIORITY, State, candidates_for_cut
 from repro.network.netlist import BooleanNetwork
-from repro.utils import recursion_headroom
+from repro.utils import BoundedMemo, recursion_headroom
 
 # The DP recursion nests one level per cut level; deep BDDs (by paper
 # bound: <~25 inputs) stay far below this, but synthetic stress tests
@@ -410,7 +410,7 @@ class BDDSynthesizer:
                 return leaf_funcs[sig_name]
             node = net.nodes[sig_name]
             fanin_funcs = {f: cone_function(f) for f in node.fanins}
-            cache: Dict[int, int] = {}
+            cache: BoundedMemo[int, int] = BoundedMemo()
             by_var = {net.var_of(f): g for f, g in fanin_funcs.items()}
 
             def walk(n: int) -> int:
@@ -440,7 +440,7 @@ class BDDSynthesizer:
 def _translate(src, func: int, dst, lit_by_var: Dict[int, int]) -> int:
     """Rebuild ``func`` (a BDD in ``src``) inside ``dst``, substituting
     each source variable with the destination literal ``lit_by_var``."""
-    cache: Dict[int, int] = {}
+    cache: BoundedMemo[int, int] = BoundedMemo()
 
     def walk(n: int) -> int:
         if n == src.ZERO:

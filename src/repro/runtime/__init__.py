@@ -1,0 +1,66 @@
+"""repro.runtime: parallel wavefront synthesis and the persistent DP cache.
+
+Execution layer for the DDBDD flow.  The serial supernode loop in
+:mod:`repro.core.ddbdd` stays the reference implementation; this package
+provides an equivalent engine that
+
+* groups supernodes into topological wavefronts and runs each wavefront
+  on a process pool (:mod:`repro.runtime.schedule`,
+  :mod:`repro.runtime.pool`),
+* memoizes supernode DP emissions in a persistent content-addressed
+  on-disk cache keyed by a canonical BDD signature
+  (:mod:`repro.runtime.cache`, :mod:`repro.runtime.signature`), and
+* reports per-stage/per-wavefront telemetry
+  (:mod:`repro.runtime.stats`).
+
+The engine is engaged by :func:`repro.core.ddbdd.ddbdd_synthesize` when
+``DDBDDConfig.jobs != 1`` or ``DDBDDConfig.cache != "off"``, and is
+contractually deterministic: its output network is identical — names,
+fanins, functions — to the serial loop's.
+"""
+
+from repro.runtime.cache import DEFAULT_MAX_ENTRIES, EmissionCache
+from repro.runtime.emission import (
+    EmissionCell,
+    EmissionRecord,
+    RecordError,
+    export_emission,
+    replay_record,
+    verify_record,
+)
+from repro.runtime.pool import JobRunner, SupernodeJob, run_supernode_job
+from repro.runtime.schedule import WaveLevel, WavePlan, plan_wavefronts, run_wavefronts
+from repro.runtime.signature import (
+    SIGNATURE_VERSION,
+    CanonicalDAG,
+    dag_size,
+    export_dag,
+    rebuild_dag,
+    signature,
+)
+from repro.runtime.stats import RuntimeStats
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "EmissionCache",
+    "EmissionCell",
+    "EmissionRecord",
+    "RecordError",
+    "export_emission",
+    "replay_record",
+    "verify_record",
+    "JobRunner",
+    "SupernodeJob",
+    "run_supernode_job",
+    "WaveLevel",
+    "WavePlan",
+    "plan_wavefronts",
+    "run_wavefronts",
+    "SIGNATURE_VERSION",
+    "CanonicalDAG",
+    "dag_size",
+    "export_dag",
+    "rebuild_dag",
+    "signature",
+    "RuntimeStats",
+]

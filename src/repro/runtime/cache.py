@@ -1,0 +1,155 @@
+"""Persistent content-addressed store of supernode emission records.
+
+Layout (under ``DDBDDConfig.cache_dir``, default ``.ddbdd_cache/``)::
+
+    .ddbdd_cache/
+      v1/                  # SIGNATURE_VERSION; a format bump strands old
+        ab/                # entries instead of corrupting new runs
+          ab3f...e2.json   # one emission record per signature
+
+One file per entry keeps the store corruption-tolerant (a damaged shard
+affects exactly one signature and is deleted on first touch) and safe
+under concurrent writers (writes go to a temp file in the same shard
+directory, then ``os.replace``).  Reads bump the file's mtime so the LRU
+size cap — enforced opportunistically every :data:`_EVICT_EVERY` puts —
+evicts the least recently *used* entries, not merely the oldest.
+
+The cache stores what the DP *produced*, never what it was asked: keys
+are the canonical signatures of :mod:`repro.runtime.signature`, so a hit
+is valid for any supernode with the same normalized BDD, arrival and
+polarity profile, and DP configuration — across circuits and across
+processes.  Callers that want defense in depth re-verify hits with
+:func:`repro.runtime.emission.verify_record` (wired to
+``verify_level >= 1`` in the flow).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.runtime.emission import EmissionRecord, RecordError
+from repro.runtime.signature import SIGNATURE_VERSION
+
+#: Enforce the LRU cap once per this many puts (amortizes the scan).
+_EVICT_EVERY = 64
+
+#: Default entry cap; at a few KB per record this bounds the store to
+#: tens of MB.
+DEFAULT_MAX_ENTRIES = 8192
+
+
+class EmissionCache:
+    """Sharded on-disk JSON store of :class:`EmissionRecord` objects.
+
+    Every operation is best-effort: I/O errors and malformed content
+    degrade to cache misses (and, where possible, delete the offending
+    file) — a broken cache directory must never break synthesis.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        self.root = Path(root)
+        self.base = self.root / f"v{SIGNATURE_VERSION}"
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._puts_since_evict = 0
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of signature ``key``."""
+        return self.base / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[EmissionRecord]:
+        """Load a record, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            record = EmissionRecord.from_json_obj(json.loads(raw))
+        except (ValueError, RecordError):
+            # Corrupted shard: drop it so the slot heals on next put.
+            self._unlink(path)
+            self.misses += 1
+            return None
+        self._touch(path)
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: EmissionRecord) -> bool:
+        """Store a record (atomic rename); returns success."""
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(record.to_json_obj(), fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                self._unlink(Path(tmp))
+                raise
+        except OSError:
+            return False
+        self.puts += 1
+        self._puts_since_evict += 1
+        if self._puts_since_evict >= _EVICT_EVERY:
+            self._puts_since_evict = 0
+            self.evict_to_cap()
+        return True
+
+    def invalidate(self, key: str) -> None:
+        """Delete one entry (used after a failed hit re-verification)."""
+        self._unlink(self.path_for(key))
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Path]:
+        """All record files currently in the store."""
+        if not self.base.is_dir():
+            return []
+        return [p for p in self.base.glob("*/*.json")]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def evict_to_cap(self) -> int:
+        """Drop least-recently-used entries beyond ``max_entries``."""
+        entries = self.entries()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return 0
+        def mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return 0.0
+        entries.sort(key=mtime)
+        for path in entries[:excess]:
+            self._unlink(path)
+        return excess
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

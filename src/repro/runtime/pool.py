@@ -1,0 +1,163 @@
+"""Process-pool execution of supernode dynamic programs.
+
+A :class:`SupernodeJob` is a self-contained, picklable description of
+one supernode DP instance: the canonical BDD DAG, the per-canonical-
+variable arrival/polarity profiles and the DP-relevant config knobs.
+:func:`run_supernode_job` — the worker entry point — rebuilds a private
+:class:`~repro.bdd.manager.BDDManager` from the DAG, runs the exact
+serial :class:`~repro.core.dp.BDDSynthesizer` against placeholder leaf
+signals ``v0..v{n-1}``, and exports the resulting cells as an
+:class:`~repro.runtime.emission.EmissionRecord`.
+
+Determinism: the canonical rebuild preserves the relative support order
+and the reordering/DP code is purely structural, so a worker's record
+replayed by the parent is cell-for-cell identical to what the serial
+flow would have emitted (tests/runtime/test_determinism.py holds this
+line).
+
+:class:`JobRunner` hides the execution strategy: in-process for
+``jobs == 1`` (or single-job batches, where process round-trips cannot
+win), a lazily created ``ProcessPoolExecutor`` otherwise.  The ``fork``
+start method is preferred — workers then inherit the imported package
+without re-importing, and no state beyond the job payload is shared.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import DDBDDConfig
+from repro.core.dp import BDDSynthesizer
+from repro.network.netlist import BooleanNetwork
+from repro.runtime.emission import EmissionRecord, export_emission
+from repro.runtime.signature import CanonicalDAG, rebuild_dag, signature
+
+
+@dataclass(frozen=True)
+class SupernodeJob:
+    """One supernode DP instance, decoupled from the owning network."""
+
+    name: str
+    dag: CanonicalDAG
+    arrivals: Tuple[int, ...]
+    polarities: Tuple[bool, ...]
+    k: int
+    thresh: int
+    use_special_decompositions: bool
+    reorder_effort: str
+    timing_aware_reorder: bool
+    verify_emission: bool
+
+    @staticmethod
+    def from_config(
+        name: str,
+        dag: CanonicalDAG,
+        arrivals: Sequence[int],
+        polarities: Sequence[bool],
+        config: DDBDDConfig,
+    ) -> "SupernodeJob":
+        return SupernodeJob(
+            name=name,
+            dag=dag,
+            arrivals=tuple(arrivals),
+            polarities=tuple(polarities),
+            k=config.k,
+            thresh=config.thresh,
+            use_special_decompositions=config.use_special_decompositions,
+            reorder_effort=config.reorder_effort,
+            timing_aware_reorder=config.timing_aware_reorder,
+            verify_emission=config.verify_emission,
+        )
+
+    def signature(self) -> str:
+        """Content-address of this job (see :mod:`repro.runtime.signature`)."""
+        return signature(
+            self.dag,
+            self.arrivals,
+            self.polarities,
+            self.k,
+            self.thresh,
+            self.use_special_decompositions,
+            self.reorder_effort,
+            self.timing_aware_reorder,
+        )
+
+
+def run_supernode_job(job: SupernodeJob) -> EmissionRecord:
+    """Worker entry point: run the DP and export the emission.
+
+    Runs in a worker process (or in-process for serial execution); must
+    touch nothing but the job payload.
+    """
+    mgr, func = rebuild_dag(job.dag)
+    n = job.dag.num_vars
+    config = DDBDDConfig(
+        k=job.k,
+        thresh=job.thresh,
+        use_special_decompositions=job.use_special_decompositions,
+        reorder_effort=job.reorder_effort,
+        timing_aware_reorder=job.timing_aware_reorder,
+        verify=job.verify_emission,
+        jobs=1,
+        cache="off",
+    )
+    input_delays = {i: job.arrivals[i] for i in range(n)}
+    scratch = BooleanNetwork(f"{job.name}_scratch")
+    leaf_signals = {}
+    leaf_ref = {}
+    for i in range(n):
+        pi = f"v{i}"
+        scratch.add_pi(pi)
+        leaf_signals[i] = (pi, job.polarities[i], job.arrivals[i])
+        leaf_ref[pi] = pi
+    synth = BDDSynthesizer(mgr, func, input_delays, config)
+    result = synth.emit(scratch, leaf_signals, prefix="sn")
+    return export_emission(
+        scratch,
+        created=list(scratch.nodes),
+        leaf_ref=leaf_ref,
+        out=(result.signal, result.negated, result.depth),
+        states_visited=result.states_visited,
+        bdd_size=result.bdd_size,
+        num_inputs=result.num_inputs,
+    )
+
+
+class JobRunner:
+    """Runs job batches serially or on a persistent process pool."""
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("JobRunner needs at least one worker")
+        self.jobs = jobs
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def run_batch(self, batch: Sequence[SupernodeJob]) -> List[EmissionRecord]:
+        """Execute one wavefront's jobs; results in batch order."""
+        if self.jobs == 1 or len(batch) <= 1:
+            return [run_supernode_job(job) for job in batch]
+        return list(self._pool().map(run_supernode_job, batch))
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "JobRunner":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

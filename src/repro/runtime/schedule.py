@@ -1,0 +1,272 @@
+"""Wavefront scheduling of supernode synthesis.
+
+The collapsed network's supernodes form a DAG; Algorithm 1 visits them
+serially in topological order, but each supernode's DP only needs the
+*mapping depths* of its fanins — data, not network mutations.  This
+module splits the serial loop into two phases:
+
+**Phase A (compute)** groups real supernodes into topological wavefronts
+(``level = 1 + max(level of fanins)``; constant nodes sit at level 0 and
+buffer/inverter chains stay at their source's level).  All supernodes of
+one wavefront are independent given the previous levels' results, so
+each wavefront is dispatched as a batch — through the content-addressed
+cache first (:mod:`repro.runtime.cache`), then to the
+:class:`~repro.runtime.pool.JobRunner` (in-process or worker pool).
+Only ``(polarity, depth)`` resolution is tracked in this phase; nothing
+is written to the output network.
+
+**Phase B (splice)** then replays every node in the *original serial
+topological order* — constants and literal chains with the serial
+flow's own code path, supernodes via
+:func:`~repro.runtime.emission.replay_record`.  Because replay
+reproduces the serial emission cell-for-cell and the splice order equals
+the serial visit order, the resulting network is identical (same names,
+same fanins, same cell functions) to what the serial loop builds —
+that is the determinism contract ``jobs=N ≡ jobs=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.hooks import StageVerifier
+from repro.core.config import DDBDDConfig
+from repro.core.dp import SupernodeResult
+from repro.network.depth import topological_order
+from repro.network.netlist import BooleanNetwork
+from repro.runtime.cache import EmissionCache
+from repro.runtime.emission import EmissionRecord, replay_record, verify_record
+from repro.runtime.pool import JobRunner, SupernodeJob, run_supernode_job
+from repro.runtime.signature import CanonicalDAG, dag_size, export_dag
+from repro.runtime.stats import RuntimeStats
+
+KIND_CONST = "const"
+KIND_LITERAL = "literal"
+KIND_SUPERNODE = "supernode"
+
+#: Minimum summed canonical-DAG size before a wavefront batch is worth
+#: shipping to the process pool.  A DP costs roughly 0.25 ms per BDD
+#: node (measured), so below this the fork/pickle round-trip dominates
+#: and the batch runs inline — same records either way, so the
+#: determinism contract is unaffected.
+MIN_POOL_WORK = 96
+
+
+@dataclass
+class WaveLevel:
+    """One topological wavefront: independent supernodes plus the
+    pass-through (constant / literal) nodes resolved at the same level."""
+
+    level: int
+    jobs: List[str] = field(default_factory=list)
+    passthrough: List[str] = field(default_factory=list)
+
+
+@dataclass
+class WavePlan:
+    """Classification and leveling of a collapsed network."""
+
+    order: List[str]
+    kind: Dict[str, str]
+    level_of: Dict[str, int]
+    levels: List[WaveLevel]
+
+    @property
+    def widths(self) -> List[int]:
+        """Supernode count per wavefront that actually runs a DP."""
+        return [len(w.jobs) for w in self.levels if w.jobs]
+
+
+def classify_node(work: BooleanNetwork, name: str) -> Tuple[str, Optional[Tuple[str, bool]]]:
+    """Kind of one node; for literals also ``(source, negated)``.
+
+    Mirrors the serial flow's special cases exactly: terminals are
+    constants, single-fanin buffers/inverters are literals, everything
+    else is a real supernode.
+    """
+    node = work.nodes[name]
+    if work.mgr.is_terminal(node.func):
+        return KIND_CONST, None
+    if len(node.fanins) == 1:
+        v = work.var_of(node.fanins[0])
+        if node.func == work.mgr.var(v):
+            return KIND_LITERAL, (node.fanins[0], False)
+        if node.func == work.mgr.nvar(v):
+            return KIND_LITERAL, (node.fanins[0], True)
+    return KIND_SUPERNODE, None
+
+
+def plan_wavefronts(work: BooleanNetwork) -> WavePlan:
+    """Compute kinds and wavefront levels for every internal node.
+
+    Primary inputs and constants sit at level 0; a literal inherits its
+    source's level (it costs no LUT); a supernode sits one level above
+    its deepest fanin.  Every supernode's fanins therefore live at
+    strictly lower levels, which makes each level an independent batch.
+    """
+    order = topological_order(work)
+    kind: Dict[str, str] = {}
+    level_of: Dict[str, int] = {pi: 0 for pi in work.pis}
+    buckets: Dict[int, WaveLevel] = {}
+
+    def bucket(level: int) -> WaveLevel:
+        got = buckets.get(level)
+        if got is None:
+            got = buckets[level] = WaveLevel(level)
+        return got
+
+    for name in order:
+        node = work.nodes[name]
+        k, lit = classify_node(work, name)
+        kind[name] = k
+        if k == KIND_CONST:
+            level = 0
+            bucket(level).passthrough.append(name)
+        elif k == KIND_LITERAL:
+            assert lit is not None
+            level = level_of[lit[0]]
+            bucket(level).passthrough.append(name)
+        else:
+            level = 1 + max(level_of[f] for f in node.fanins)
+            bucket(level).jobs.append(name)
+        level_of[name] = level
+
+    levels = [buckets[lv] for lv in sorted(buckets)]
+    return WavePlan(order=order, kind=kind, level_of=level_of, levels=levels)
+
+
+def run_wavefronts(
+    work: BooleanNetwork,
+    mapped: BooleanNetwork,
+    config: DDBDDConfig,
+    verifier: StageVerifier,
+    resolve: Dict[str, Tuple[str, bool, int]],
+    external: Set[str],
+    stats: RuntimeStats,
+) -> List[SupernodeResult]:
+    """Synthesize all supernodes of ``work`` into ``mapped``.
+
+    Drop-in replacement for the serial supernode loop of
+    :func:`repro.core.ddbdd.ddbdd_synthesize`; mutates ``resolve`` /
+    ``external`` exactly as the serial loop would and returns the
+    :class:`~repro.core.dp.SupernodeResult` list in serial order.
+    """
+    plan = plan_wavefronts(work)
+    cache: Optional[EmissionCache] = None
+    if config.cache != "off":
+        cache = EmissionCache(config.cache_dir, max_entries=config.cache_max_entries)
+    readable = config.cache in ("read", "readwrite")
+    writable = config.cache == "readwrite"
+
+    # Phase A: per-signal (negated, depth) without touching `mapped`.
+    vres: Dict[str, Tuple[bool, int]] = {pi: (False, 0) for pi in work.pis}
+    jobinfo: Dict[str, Tuple[CanonicalDAG, EmissionRecord]] = {}
+
+    with JobRunner(config.effective_jobs) as runner:
+        for wave in plan.levels:
+            if wave.jobs:
+                stats.wavefront_widths.append(len(wave.jobs))
+            pending: List[Tuple[str, SupernodeJob, Optional[str]]] = []
+            for name in wave.jobs:
+                node = work.nodes[name]
+                with stats.stage("signature"):
+                    dag = export_dag(work.mgr, node.func)
+                    fanin_by_var = {work.var_of(f): f for f in node.fanins}
+                    polarities = []
+                    arrivals = []
+                    for var in dag.var_map:
+                        neg, depth = vres[fanin_by_var[var]]
+                        polarities.append(neg)
+                        arrivals.append(depth)
+                    job = SupernodeJob.from_config(name, dag, arrivals, polarities, config)
+                    key = job.signature() if cache is not None else None
+                record: Optional[EmissionRecord] = None
+                if cache is not None and readable and key is not None:
+                    with stats.stage("cache"):
+                        record = cache.get(key)
+                        if record is not None and config.verify_level >= 1:
+                            if not verify_record(record, dag, job.polarities, config.k):
+                                cache.invalidate(key)
+                                stats.cache_rejected += 1
+                                record = None
+                if record is not None:
+                    stats.cache_hits += 1
+                    jobinfo[name] = (dag, record)
+                else:
+                    if cache is not None:
+                        stats.cache_misses += 1
+                    pending.append((name, job, key))
+            if pending:
+                batch = [job for _, job, _ in pending]
+                with stats.stage("dp"):
+                    if sum(dag_size(job.dag) for job in batch) < MIN_POOL_WORK:
+                        records = [run_supernode_job(job) for job in batch]
+                    else:
+                        records = runner.run_batch(batch)
+                for (name, job, key), record in zip(pending, records):
+                    jobinfo[name] = (job.dag, record)
+                    if cache is not None and writable and key is not None:
+                        with stats.stage("cache"):
+                            if cache.put(key, record):
+                                stats.cache_puts += 1
+            # Resolve polarities/depths for this level (jobs first, then
+            # pass-through nodes that may read them).
+            for name in wave.jobs:
+                record = jobinfo[name][1]
+                neg = record.out_neg if record.out_ref[0] == "v" else False
+                vres[name] = (neg, record.out_depth)
+            for name in wave.passthrough:
+                if plan.kind[name] == KIND_CONST:
+                    vres[name] = (False, 0)
+                else:
+                    src, lit_neg = classify_node(work, name)[1]  # type: ignore[misc]
+                    src_neg, src_depth = vres[src]
+                    vres[name] = (src_neg ^ lit_neg, src_depth)
+
+    # Phase B: splice in the serial topological order.
+    supernode_results: List[SupernodeResult] = []
+    mgr = work.mgr
+    with stats.stage("splice"):
+        for name in plan.order:
+            node = work.nodes[name]
+            kind = plan.kind[name]
+            if kind == KIND_CONST:
+                const_name = mapped.fresh_name(f"{name}_const")
+                mapped.add_node_function(
+                    const_name,
+                    [],
+                    mapped.mgr.ONE if node.func == mgr.ONE else mapped.mgr.ZERO,
+                )
+                resolve[name] = (const_name, False, 0)
+                external.add(const_name)
+                continue
+            if kind == KIND_LITERAL:
+                src, negated = classify_node(work, name)[1]  # type: ignore[misc]
+                base, base_neg, d = resolve[src]
+                resolve[name] = (base, base_neg ^ negated, d)
+                continue
+            dag, record = jobinfo[name]
+            fanin_by_var = {work.var_of(f): f for f in node.fanins}
+            leaves = [resolve[fanin_by_var[var]] for var in dag.var_map]
+            sig, neg, depth = replay_record(mapped, record, leaves, prefix=name)
+            result = SupernodeResult(
+                signal=sig,
+                negated=neg,
+                depth=depth,
+                luts_created=len(record.cells),
+                states_visited=record.states_visited,
+                bdd_size=record.bdd_size,
+                num_inputs=record.num_inputs,
+            )
+            if neg and sig in mapped.nodes and sig not in external:
+                lut = mapped.nodes[sig]
+                lut.func = mapped.mgr.negate(lut.func)
+                neg = False
+            assert (neg, depth) == vres[name], "phase A/B resolution drift"
+            resolve[name] = (sig, neg, depth)
+            external.add(sig)
+            supernode_results.append(result)
+            verifier.after_supernode(mapped, name)
+    stats.supernodes += len(supernode_results)
+    return supernode_results

@@ -1,18 +1,25 @@
 """Small shared utilities.
 
-Currently: :func:`recursion_headroom`, the project-standard way to run a
-deeply recursive region.  It must be used as a scoped context manager —
-never a persistent ``sys.setrecursionlimit`` call — because leaving the
-limit raised breaks tools that manage the limit themselves (hypothesis's
-``ensure_free_stackframes`` warns whenever a test body changes the limit
-behind its back, which is exactly what a persistent raise does).
+* :func:`recursion_headroom` — the project-standard way to run a deeply
+  recursive region.  It must be used as a scoped context manager — never
+  a persistent ``sys.setrecursionlimit`` call — because leaving the
+  limit raised breaks tools that manage the limit themselves
+  (hypothesis's ``ensure_free_stackframes`` warns whenever a test body
+  changes the limit behind its back, which is exactly what a persistent
+  raise does).
+* :class:`BoundedMemo` — a size-capped memo table for DAG walks.  A
+  plain ``dict`` memo grows with the number of distinct nodes visited,
+  which on pathological supernodes (and inside long-lived worker
+  processes, see :mod:`repro.runtime.pool`) is unbounded; the bounded
+  variant evicts its oldest entries instead, trading re-computation for
+  a hard memory ceiling.
 """
 
 from __future__ import annotations
 
 import sys
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Dict, Generic, Iterator, Optional, TypeVar
 
 
 @contextmanager
@@ -31,3 +38,49 @@ def recursion_headroom(limit: int) -> Iterator[None]:
         yield
     finally:
         sys.setrecursionlimit(old)
+
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: Default entry cap for :class:`BoundedMemo`.  Far above what any real
+#: supernode walk needs (the paper's BDDs stay under ~200 nodes), so
+#: eviction only ever triggers on synthetic stress inputs.
+DEFAULT_MEMO_CAP = 1 << 18
+
+
+class BoundedMemo(Generic[K, V]):
+    """A memo table with a hard entry cap (FIFO eviction).
+
+    Drop-in for the ``cache.get(...)`` / ``cache[key] = value`` pattern
+    used by the recursive DAG walks in this repo.  When the cap is
+    reached the oldest inserted entry is evicted; for a memoized pure
+    function that only costs recomputation, never correctness.
+    """
+
+    __slots__ = ("_data", "_cap")
+
+    def __init__(self, cap: int = DEFAULT_MEMO_CAP) -> None:
+        if cap < 1:
+            raise ValueError("memo cap must be at least 1")
+        self._data: Dict[K, V] = {}
+        self._cap = cap
+
+    def get(self, key: K) -> Optional[V]:
+        return self._data.get(key)
+
+    def __setitem__(self, key: K, value: V) -> None:
+        data = self._data
+        if key not in data and len(data) >= self._cap:
+            data.pop(next(iter(data)))
+        data[key] = value
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def cap(self) -> int:
+        return self._cap

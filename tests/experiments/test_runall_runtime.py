@@ -1,0 +1,41 @@
+"""run_all's runtime-knob pass-through (jobs / cache / cache_dir)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.config import DDBDDConfig
+from repro.experiments import runall
+from repro.experiments.report import TableResult
+
+
+def _stub_table(config=None, **kwargs):
+    result = TableResult(name="stub", columns=["x"], rows=[[1]], summary={})
+    result.summary["config"] = config
+    result.summary["kwargs"] = kwargs
+    return result
+
+
+def test_runtime_knobs_inject_shared_config(monkeypatch, tmp_path):
+    monkeypatch.setattr(runall, "_EXPERIMENTS", [("stub", _stub_table, {})])
+    out = io.StringIO()
+    results = runall.run_all(
+        out=out, jobs=3, cache="read", cache_dir=str(tmp_path)
+    )
+    config = results["stub"].summary["config"]
+    assert isinstance(config, DDBDDConfig)
+    assert (config.jobs, config.cache, config.cache_dir) == (3, "read", str(tmp_path))
+    assert "stub" in out.getvalue()
+
+
+def test_no_knobs_means_no_config(monkeypatch):
+    monkeypatch.setattr(runall, "_EXPERIMENTS", [("stub", _stub_table, {})])
+    results = runall.run_all()
+    assert results["stub"].summary["config"] is None
+
+
+def test_explicit_override_wins(monkeypatch):
+    monkeypatch.setattr(runall, "_EXPERIMENTS", [("stub", _stub_table, {})])
+    mine = DDBDDConfig(jobs=1)
+    results = runall.run_all(jobs=4, overrides={"stub": {"config": mine}})
+    assert results["stub"].summary["config"] is mine

@@ -1,0 +1,154 @@
+"""Persistent emission cache: cold/warm equivalence, corruption and
+poisoning recovery, LRU bounds."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.runtime.cache import EmissionCache
+from repro.runtime.emission import EmissionCell, EmissionRecord
+from tests.conftest import assert_equivalent, random_gate_network
+from tests.runtime.helpers import net_dump
+
+
+def _record(tag: int = 0) -> EmissionRecord:
+    return EmissionRecord(
+        cells=(EmissionCell(("v0", "v1"), "0001"),),
+        out_ref="c0",
+        out_neg=False,
+        out_depth=1 + tag % 3,
+        states_visited=tag,
+        bdd_size=3,
+        num_inputs=2,
+    )
+
+
+# ----------------------------------------------------------------------
+# Flow-level behaviour
+# ----------------------------------------------------------------------
+def test_cold_then_warm_matches_serial(tmp_path):
+    net = random_gate_network(4, n_pi=10, n_gates=50, n_po=5)
+    serial = ddbdd_synthesize(net, DDBDDConfig())
+    def cfg() -> DDBDDConfig:
+        return DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path), verify_level=1)
+
+    cold = ddbdd_synthesize(net, cfg())
+    warm = ddbdd_synthesize(net, cfg())
+    assert net_dump(cold.network) == net_dump(serial.network)
+    assert net_dump(warm.network) == net_dump(serial.network)
+    assert cold.runtime_stats.cache_misses > 0 and cold.runtime_stats.cache_puts > 0
+    assert warm.runtime_stats.cache_misses == 0
+    assert warm.runtime_stats.cache_hits == cold.runtime_stats.cache_misses
+    assert_equivalent(net, warm.network, "warm-cache synthesis")
+
+
+def test_cache_reuse_across_jobs_counts(tmp_path):
+    net = random_gate_network(6, n_pi=10, n_gates=50, n_po=5)
+    serial = ddbdd_synthesize(net, DDBDDConfig())
+    ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    warm_par = ddbdd_synthesize(
+        net, DDBDDConfig(jobs=4, cache="readwrite", cache_dir=str(tmp_path))
+    )
+    assert net_dump(warm_par.network) == net_dump(serial.network)
+    assert warm_par.runtime_stats.cache_misses == 0
+
+
+def test_read_mode_never_writes(tmp_path):
+    net = random_gate_network(3, n_gates=30)
+    result = ddbdd_synthesize(net, DDBDDConfig(cache="read", cache_dir=str(tmp_path)))
+    assert result.runtime_stats.cache_hits == 0
+    assert result.runtime_stats.cache_puts == 0
+    assert len(EmissionCache(tmp_path)) == 0
+
+
+def test_corrupted_shards_recover(tmp_path):
+    net = random_gate_network(8, n_pi=10, n_gates=50, n_po=5)
+    serial = ddbdd_synthesize(net, DDBDDConfig())
+    ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    cache = EmissionCache(tmp_path)
+    entries = cache.entries()
+    assert entries
+    for path in entries:
+        path.write_text("{ not json", encoding="utf-8")
+    redo = ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    assert net_dump(redo.network) == net_dump(serial.network)
+    assert redo.runtime_stats.cache_hits == 0
+    assert redo.runtime_stats.cache_misses == len(entries)
+    # The damaged files were dropped and rewritten with good content.
+    warm = ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    assert warm.runtime_stats.cache_misses == 0
+
+
+def test_poisoned_record_rejected_by_verification(tmp_path):
+    net = random_gate_network(9, n_pi=10, n_gates=50, n_po=5)
+    serial = ddbdd_synthesize(net, DDBDDConfig())
+    ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    cache = EmissionCache(tmp_path)
+    poisoned = 0
+    for path in cache.entries():
+        obj = json.loads(path.read_text(encoding="utf-8"))
+        out_ref = obj["out"][0]
+        if not out_ref.startswith("c"):
+            continue
+        # Well-formed but guaranteed wrong: invert the output cell's
+        # truth table, turning the record into the complement function
+        # (differs on every assignment, so spot simulation must catch
+        # it regardless of sampled patterns).
+        idx = int(out_ref[1:])
+        fanins, truth = obj["cells"][idx]
+        obj["cells"][idx] = [fanins, "".join("1" if b == "0" else "0" for b in truth)]
+        path.write_text(json.dumps(obj), encoding="utf-8")
+        poisoned += 1
+    assert poisoned > 0
+    redo = ddbdd_synthesize(
+        net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path), verify_level=1)
+    )
+    assert net_dump(redo.network) == net_dump(serial.network)
+    assert redo.runtime_stats.cache_rejected == poisoned
+    assert_equivalent(net, redo.network, "poisoned-cache recovery")
+
+
+# ----------------------------------------------------------------------
+# EmissionCache unit behaviour
+# ----------------------------------------------------------------------
+def test_cache_roundtrip_and_counters(tmp_path):
+    cache = EmissionCache(tmp_path)
+    key = "ab" + "0" * 62
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    assert cache.put(key, _record())
+    got = cache.get(key)
+    assert got == _record()
+    assert (cache.hits, cache.puts) == (1, 1)
+    assert cache.path_for(key).parent.name == "ab"
+    cache.invalidate(key)
+    assert cache.get(key) is None
+
+
+def test_cache_lru_eviction(tmp_path):
+    import os
+    import time as _time
+
+    cache = EmissionCache(tmp_path, max_entries=5)
+    keys = [f"{i:02x}" + f"{i:060x}" for i in range(12)]
+    for i, key in enumerate(keys):
+        assert cache.put(key, _record(i))
+        # Distinct mtimes so the LRU order is well defined.
+        os.utime(cache.path_for(key), (i, i))
+    assert cache.evict_to_cap() >= 1
+    assert len(cache) == 5
+    # The survivors are the most recently touched keys.
+    survivors = {p.stem for p in cache.entries()}
+    assert survivors == set(keys[-5:])
+    _time.sleep(0)
+
+
+def test_cache_garbage_payload_is_a_miss(tmp_path):
+    cache = EmissionCache(tmp_path)
+    key = "cd" + "0" * 62
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"cells": [[["q9"], "01"]], "out": ["c0", 0, 1], "stats": [0, 0, 1]}))
+    assert cache.get(key) is None
+    assert not path.exists(), "structurally invalid record must be unlinked"

@@ -1,0 +1,79 @@
+"""Wavefront planning: node classification, leveling, ordering."""
+
+from __future__ import annotations
+
+from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.network.netlist import BooleanNetwork
+from repro.runtime.schedule import (
+    KIND_CONST,
+    KIND_LITERAL,
+    KIND_SUPERNODE,
+    plan_wavefronts,
+)
+from tests.conftest import random_gate_network
+from tests.runtime.helpers import net_dump
+
+
+def _diamond() -> BooleanNetwork:
+    """Two parallel AND layers feeding one XOR, plus a buffer, an
+    inverter chain and a constant node."""
+    net = BooleanNetwork("diamond")
+    for name in ("a", "b", "c", "d"):
+        net.add_pi(name)
+    net.add_gate("g1", "and", ["a", "b"])
+    net.add_gate("g2", "or", ["c", "d"])
+    net.add_gate("top", "xor", ["g1", "g2"])
+    net.add_gate("buf", "buf", ["g1"])
+    net.add_gate("inv", "not", ["buf"])
+    net.add_node_function("k1", [], net.mgr.ONE)
+    net.add_gate("mix", "and", ["inv", "k1"])
+    net.add_po("o0", "top")
+    net.add_po("o1", "mix")
+    net.check()
+    return net
+
+
+def test_plan_classifies_and_levels():
+    net = _diamond()
+    plan = plan_wavefronts(net)
+    assert plan.kind["g1"] == KIND_SUPERNODE
+    assert plan.kind["buf"] == KIND_LITERAL
+    assert plan.kind["inv"] == KIND_LITERAL
+    assert plan.kind["k1"] == KIND_CONST
+    assert plan.level_of["g1"] == plan.level_of["g2"] == 1
+    assert plan.level_of["top"] == 2
+    # Literals ride at their source's level; the constant at level 0.
+    assert plan.level_of["buf"] == plan.level_of["inv"] == 1
+    assert plan.level_of["k1"] == 0
+    # `mix` consumes the inverter chain (level 1) -> level 2.
+    assert plan.level_of["mix"] == 2
+    assert plan.widths == [2, 2]
+
+
+def test_plan_fanins_strictly_below():
+    net = random_gate_network(12, n_pi=10, n_gates=80, n_po=6)
+    plan = plan_wavefronts(net)
+    assert plan.order == [n for n in plan.order if n in net.nodes]
+    for name in net.nodes:
+        if plan.kind[name] != KIND_SUPERNODE:
+            continue
+        for f in net.nodes[name].fanins:
+            assert plan.level_of[f] < plan.level_of[name]
+    assert sum(plan.widths) == sum(
+        1 for n in net.nodes if plan.kind[n] == KIND_SUPERNODE
+    )
+
+
+def test_special_kinds_survive_parallel_flow():
+    net = _diamond()
+    serial = ddbdd_synthesize(net, DDBDDConfig(jobs=1))
+    par = ddbdd_synthesize(net, DDBDDConfig(jobs=2))
+    assert net_dump(par.network) == net_dump(serial.network)
+    assert (par.depth, par.area) == (serial.depth, serial.area)
+
+
+def test_collapse_off_keeps_literal_chains():
+    net = _diamond()
+    serial = ddbdd_synthesize(net, DDBDDConfig(jobs=1, collapse=False))
+    par = ddbdd_synthesize(net, DDBDDConfig(jobs=2, collapse=False))
+    assert net_dump(par.network) == net_dump(serial.network)

@@ -1,0 +1,101 @@
+"""Canonical DAG export and the content-address signature."""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDDManager
+from repro.runtime.signature import (
+    CanonicalDAG,
+    dag_size,
+    export_dag,
+    rebuild_dag,
+    signature,
+)
+
+
+def _majority(mgr: BDDManager, a: int, b: int, c: int) -> int:
+    va, vb, vc = mgr.var(a), mgr.var(b), mgr.var(c)
+    return mgr.ite(va, mgr.apply_or(vb, vc), mgr.apply_and(vb, vc))
+
+
+def test_export_is_invariant_under_variable_renaming():
+    m1 = BDDManager(12)
+    f1 = _majority(m1, 0, 1, 2)
+    m2 = BDDManager(12)
+    f2 = _majority(m2, 4, 7, 9)  # same structure, shifted variable ids
+    d1, d2 = export_dag(m1, f1), export_dag(m2, f2)
+    assert (d1.num_vars, d1.nodes, d1.root) == (d2.num_vars, d2.nodes, d2.root)
+    assert d1.var_map == (0, 1, 2)
+    assert d2.var_map == (4, 7, 9)
+
+
+def test_export_ignores_unrelated_manager_content():
+    m1 = BDDManager(12)
+    f1 = _majority(m1, 0, 1, 2)
+    m2 = BDDManager(12)
+    for i in range(6):  # garbage functions sharing the manager
+        m2.apply_and(m2.var(i), m2.nvar(i + 1))
+    f2 = _majority(m2, 0, 1, 2)
+    assert export_dag(m1, f1).nodes == export_dag(m2, f2).nodes
+
+
+def test_rebuild_roundtrip():
+    mgr = BDDManager(12)
+    f = mgr.apply_xor(mgr.var(2), mgr.apply_and(mgr.var(5), mgr.nvar(8)))
+    dag = export_dag(mgr, f)
+    priv, pf = rebuild_dag(dag)
+    again = export_dag(priv, pf)
+    assert (again.num_vars, again.nodes, again.root) == (
+        dag.num_vars,
+        dag.nodes,
+        dag.root,
+    )
+    assert again.var_map == tuple(range(dag.num_vars))
+    assert dag_size(dag) == len(dag.nodes)
+
+
+def test_terminal_dags():
+    mgr = BDDManager(12)
+    one = export_dag(mgr, mgr.ONE)
+    zero = export_dag(mgr, mgr.ZERO)
+    assert one.num_vars == 0 and one.nodes == () and one.root != zero.root
+    priv, f = rebuild_dag(one)
+    assert f == priv.ONE
+
+
+def _sig(dag: CanonicalDAG, **kw) -> str:
+    base = dict(
+        arrivals=(0, 0, 0),
+        polarities=(False, False, False),
+        k=5,
+        thresh=15,
+        use_special_decompositions=True,
+        reorder_effort="auto",
+        timing_aware_reorder=False,
+    )
+    base.update(kw)
+    return signature(dag, **base)
+
+
+def test_signature_sensitivity():
+    mgr = BDDManager(12)
+    dag = export_dag(mgr, _majority(mgr, 0, 1, 2))
+    base = _sig(dag)
+    assert base == _sig(dag), "signature must be deterministic"
+    assert len(base) == 64  # sha256 hex
+    assert _sig(dag, k=4) != base
+    assert _sig(dag, thresh=8) != base
+    assert _sig(dag, arrivals=(1, 0, 0)) != base
+    assert _sig(dag, polarities=(True, False, False)) != base
+    assert _sig(dag, use_special_decompositions=False) != base
+    assert _sig(dag, reorder_effort="sift") != base
+    assert _sig(dag, timing_aware_reorder=True) != base
+    other = export_dag(mgr, mgr.apply_and(mgr.var(0), mgr.apply_and(mgr.var(1), mgr.var(2))))
+    assert _sig(other) != base
+
+
+def test_signature_invariant_to_var_map():
+    m1 = BDDManager(12)
+    d1 = export_dag(m1, _majority(m1, 0, 1, 2))
+    m2 = BDDManager(12)
+    d2 = export_dag(m2, _majority(m2, 3, 6, 11))
+    assert _sig(d1) == _sig(d2), "signal naming must not leak into the key"
