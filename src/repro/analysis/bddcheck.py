@@ -85,7 +85,7 @@ def check_bdd_manager(
                     )
                 )
         if strict_unique:
-            registered = mgr._unique.get((var, lo, hi))
+            registered = mgr._unique.get(mgr._ukey(var, lo, hi))
             if registered != n:
                 diags.append(
                     Diagnostic(
@@ -142,7 +142,7 @@ def _check_unique_table(mgr: BDDManager) -> List[Diagnostic]:
     diags: List[Diagnostic] = []
     num_nodes = mgr.num_nodes
     claimed: dict = {}
-    for (var, lo, hi), n in mgr._unique.items():
+    for (var, lo, hi), n in mgr.iter_unique_items():
         if not 2 <= n < num_nodes:
             diags.append(
                 Diagnostic(
@@ -177,7 +177,7 @@ def _check_compute_caches(mgr: BDDManager) -> List[Diagnostic]:
     """Cached results must be valid ids with compatible structure."""
     diags: List[Diagnostic] = []
     num_nodes = mgr.num_nodes
-    for key, result in mgr._ite_cache.items():
+    for key, result in mgr.iter_ite_items():
         ids = (*key, result)
         if any(not 0 <= x < num_nodes for x in ids):
             diags.append(
@@ -187,7 +187,18 @@ def _check_compute_caches(mgr: BDDManager) -> List[Diagnostic]:
                     where=str(result),
                 )
             )
-    for f, g in mgr._not_cache.items():
+    for op in ("and", "or", "xor", "xnor"):
+        for (f, g), result in mgr.iter_binary_cache_items(op):
+            if any(not 0 <= x < num_nodes for x in (f, g, result)):
+                diags.append(
+                    Diagnostic(
+                        "DD205",
+                        f"{op} cache entry ({f}, {g}) -> {result} references "
+                        "unknown node ids",
+                        where=str(result),
+                    )
+                )
+    for f, g in mgr.iter_not_items():
         if not (0 <= f < num_nodes and 0 <= g < num_nodes):
             diags.append(
                 Diagnostic(

@@ -18,11 +18,28 @@ at level ``depth`` (Definition 2).
 
 Nodes are referred to by their *manager* node ids; terminals are the
 manager's ``ZERO``/``ONE``.
+
+Performance
+-----------
+This class sits inside the DP's innermost loops, so the structural
+queries are engineered for throughput:
+
+* ``node_level`` maps every reachable node (terminals included) to its
+  level once, at construction — no per-query variable lookups.
+* Cut sets are grown *incrementally, level by level* per node via the
+  Algorithm-4 recurrence: ``CS(u, l)`` is derived from the stored
+  ``CS(u, l - 1)`` in one pass, and every level computed is kept, so no
+  query ever recomputes a shallower cut.
+* ``bs_function`` builds sub-BDD functions directly through the
+  manager's find-or-create (:meth:`~repro.bdd.manager.BDDManager
+  .make_node`) instead of per-node ``ite`` calls — the walk preserves
+  the variable order, so the generic 3-operand recursion is pure
+  overhead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bdd.manager import BDDManager
 
@@ -39,6 +56,8 @@ class LeveledBDD:
     nodes:
         All nonterminal node ids reachable from the root, in
         deterministic (increasing level, then id) order.
+    node_level:
+        Level of every reachable node (terminals at ``depth``).
     """
 
     def __init__(self, mgr: BDDManager, root: int) -> None:
@@ -47,13 +66,32 @@ class LeveledBDD:
         self.support: List[int] = mgr.support_ordered(root)
         self.depth: int = len(self.support)
         self._level_of_var: Dict[int, int] = {v: i for i, v in enumerate(self.support)}
+        level_of_var = self._level_of_var
+        top_var = mgr.top_var
+        self.node_level: Dict[int, int] = {0: self.depth, 1: self.depth}
+        for n in mgr.reachable(root):
+            if n > 1:
+                self.node_level[n] = level_of_var[top_var(n)]
         self.nodes: List[int] = sorted(
-            (n for n in mgr.reachable(root) if n > 1),
-            key=lambda n: (self._level_of_var[mgr.top_var(n)], n),
+            (n for n in self.node_level if n > 1),
+            key=lambda n: (self.node_level[n], n),
         )
-        self._cs_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
-        self._cs_set_cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
-        self._bs_cache: Dict[Tuple[int, int, int], int] = {}
+        # Cut sets per node, grown level-by-level (Algorithm 4):
+        # _cs[u][l] / _cs_sets[u][l] hold CS(u, l) for every l computed
+        # so far; _cs[u] extends on demand, never recomputes.
+        self._cs: Dict[int, List[Tuple[int, ...]]] = {}
+        self._cs_sets: Dict[int, List[FrozenSet[int]]] = {}
+        # Sub-BDD function memo, one row per (absolute cut, one-node v):
+        # row[w] is the function of Bs(w, cut_abs - level(w), v).  Rows
+        # are shared by *all* bs_function walks at that cut, so distinct
+        # (u, l, v) queries reuse each other's sub-results.
+        self._bs_cache: Dict[Tuple[int, int], Dict[int, int]] = {}
+        # Prepared linear-expansion rows per (u, l, j), shared across
+        # every terminal-1 choice v (see repro.core.linear).
+        self._gate_rows: Dict[
+            Tuple[int, int, int],
+            List[Tuple[int, int, Optional[FrozenSet[int]]]],
+        ] = {}
 
     # ------------------------------------------------------------------
     # Levels (Definitions 1 and 2)
@@ -64,9 +102,7 @@ class LeveledBDD:
 
     def level(self, node: int) -> int:
         """Level of a node; terminals are at level ``depth``."""
-        if node <= 1:
-            return self.depth
-        return self._level_of_var[self.mgr.top_var(node)]
+        return self.node_level[node]
 
     def is_terminal(self, node: int) -> bool:
         return node <= 1
@@ -97,43 +133,59 @@ class LeveledBDD:
         Computed by the incremental recurrence of Algorithm 4:
         ``CS(u, 0) = {T(u), E(u)}``; for ``l > 0`` every node of
         ``CS(u, l-1)`` whose level exceeds ``level(u) + l`` is kept, and
-        every other node is replaced by its two children.
+        every other node is replaced by its two children.  All levels up
+        to ``l`` are materialized once per node and kept.
 
         The result is returned as a deterministic tuple sorted by
         ``(level, node id)``.  ``l`` must satisfy
         ``0 <= l <= depth - 1 - level(u)``.
         """
-        key = (u, l)
-        hit = self._cs_cache.get(key)
-        if hit is not None:
-            return hit
-        if l == 0:
-            members = {self.t_child(u), self.e_child(u)}
-        else:
-            cut_abs = self.level(u) + l
+        rows = self._cs.get(u)
+        if rows is not None and l < len(rows):
+            return rows[l]
+        return self._extend_cut_sets(u, l)
+
+    def _extend_cut_sets(self, u: int, l: int) -> Tuple[int, ...]:
+        """Grow the stored cut sets of ``u`` up to level ``l``."""
+        mgr = self.mgr
+        lo_a = mgr._lo
+        hi_a = mgr._hi
+        node_level = self.node_level
+        rows = self._cs.get(u)
+        if rows is None:
+            members = {hi_a[u], lo_a[u]}
+            first = tuple(sorted(members, key=lambda n: (node_level[n], n)))
+            rows = self._cs[u] = [first]
+            self._cs_sets[u] = [frozenset(first)]
+        sets = self._cs_sets[u]
+        base = node_level[u]
+        while len(rows) <= l:
+            cut_abs = base + len(rows)
             members = set()
-            for v in self.cut_set(u, l - 1):
-                if self.level(v) > cut_abs:
-                    members.add(v)
+            add = members.add
+            for w in rows[-1]:
+                if node_level[w] > cut_abs:
+                    add(w)
                 else:
-                    members.add(self.t_child(v))
-                    members.add(self.e_child(v))
-        result = tuple(sorted(members, key=lambda n: (self.level(n), n)))
-        self._cs_cache[key] = result
-        self._cs_set_cache[key] = frozenset(result)
-        return result
+                    add(hi_a[w])
+                    add(lo_a[w])
+            row = tuple(sorted(members, key=lambda n: (node_level[n], n)))
+            rows.append(row)
+            sets.append(frozenset(row))
+        return rows[l]
 
     def cut_set_contains(self, u: int, l: int, v: int) -> bool:
         """Membership test ``v ∈ CS(u, l)`` (cached)."""
-        key = (u, l)
-        if key not in self._cs_set_cache:
-            self.cut_set(u, l)
-        return v in self._cs_set_cache[key]
+        sets = self._cs_sets.get(u)
+        if sets is None or l >= len(sets):
+            self._extend_cut_sets(u, l)
+            sets = self._cs_sets[u]
+        return v in sets[l]
 
     def max_cut_level(self, u: int) -> int:
         """Largest legal relative cut level of sub-BDD(u):
         ``depth - level(u) - 1``."""
-        return self.depth - self.level(u) - 1
+        return self.depth - self.node_level[u] - 1
 
     # ------------------------------------------------------------------
     # Sub-BDD functions (Definitions 5 and 7)
@@ -146,31 +198,39 @@ class LeveledBDD:
         terminal 1 and every other cut-set node to terminal 0.  The
         returned function is expressed over the original variables.
         """
-        cut_abs = self.level(u) + l
-        key = (u, cut_abs, v)
-        hit = self._bs_cache.get(key)
+        node_level = self.node_level
+        cut_abs = node_level[u] + l
+        row = self._bs_cache.get((cut_abs, v))
+        if row is None:
+            row = self._bs_cache[(cut_abs, v)] = {}
+        hit = row.get(u)
         if hit is not None:
             return hit
+        # The root itself must lie on or above the cut.
+        if node_level[u] > cut_abs:
+            raise ValueError("root below its own cut")
         mgr = self.mgr
-        local: Dict[int, int] = {}
+        mk = mgr._mk
+        var_a = mgr._var
+        lo_a = mgr._lo
+        hi_a = mgr._hi
+        row_get = row.get
 
         def walk(w: int) -> int:
-            if self.level(w) > cut_abs:
-                return mgr.ONE if w == v else mgr.ZERO
-            got = local.get(w)
+            if node_level[w] > cut_abs:
+                return 1 if w == v else 0
+            got = row_get(w)
             if got is not None:
                 return got
-            x = mgr.top_var(w)
-            result = mgr.ite(mgr.var(x), walk(self.t_child(w)), walk(self.e_child(w)))
-            local[w] = result
+            # The walk preserves the order (children sit at deeper
+            # levels), so find-or-create replaces the generic ite.
+            t = walk(hi_a[w])
+            e = walk(lo_a[w])
+            result = mk(var_a[w], e, t)
+            row[w] = result
             return result
 
-        # The root itself must lie on or above the cut.
-        if self.level(u) > cut_abs:
-            raise ValueError("root below its own cut")
-        result = walk(u)
-        self._bs_cache[key] = result
-        return result
+        return walk(u)
 
     def function(self) -> int:
         """The full function, equal to ``Bs(root, depth-1, ONE)``."""
@@ -187,4 +247,4 @@ class LeveledBDD:
             seen.add(w)
             stack.append(self.t_child(w))
             stack.append(self.e_child(w))
-        return sorted(seen, key=lambda n: (self.level(n), n))
+        return sorted(seen, key=lambda n: (self.node_level[n], n))

@@ -16,11 +16,50 @@ keeps every previously returned node id valid.
 There are deliberately no complement edges: DDBDD's linear expansion is a
 statement about paths from the root to the *1 terminal*, which is only a
 structural notion when terminal polarity is explicit.
+
+Hot-path engineering
+--------------------
+The operator suite is the synthesis flow's innermost loop, so it is
+tuned for CPython:
+
+* AND/OR/XOR/XNOR have dedicated binary recursions with per-operator
+  caches instead of routing through the 3-operand ``ite`` (XOR in
+  particular no longer materializes ``negate(g)`` up front).
+* ``ite`` normalizes standard triples first — ``ite(f, g, 0)`` becomes
+  ``apply_and``, ``ite(f, 1, h)`` becomes ``apply_or``, ``ite(f, 0, 1)``
+  becomes ``negate`` — so equivalent call shapes share one cache entry.
+* Cache and unique-table keys are packed integers (``v << 64 | lo << 32
+  | hi``), not tuples: one hash of one int instead of a tuple allocation
+  plus three hashes.  Node ids must stay below 2**32, which a Python
+  process cannot outlive anyway.
+* Operator caches are :class:`~repro.utils.BoundedMemo` tables (hard
+  entry cap, FIFO eviction), so long-lived managers cannot grow their
+  memo footprint without bound.
+* ``iterative=True`` switches every operator to an explicit-stack
+  evaluator that performs the *same* algorithm in the same order (same
+  cache keys, same node-creation order — ids are bit-identical to the
+  recursive engine) without consuming Python stack frames; use it for
+  BDDs deeper than the recursion limit allows.
+* Cheap counters (:meth:`cache_stats`) expose unique-table and
+  per-operator cache hit rates for profiling.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.utils import BoundedMemo
+
+# Packed-key field widths: key = (v << 64) | (lo << 32) | hi for the
+# unique table and ite cache, (f << 32) | g for binary operator caches.
+_SHIFT = 32
+_MASK = (1 << _SHIFT) - 1
+
+#: Entry cap of each operator cache (unique table is never capped).
+OP_CACHE_CAP = 1 << 18
+
+#: Shared empty support (terminals depend on no variable).
+_EMPTY_SUPPORT: "frozenset[int]" = frozenset()
 
 
 class BDDError(Exception):
@@ -47,6 +86,10 @@ class BDDManager:
     node_limit:
         Hard cap on the node count; exceeded growth raises
         :class:`NodeLimitExceeded`.  ``None`` means unlimited.
+    iterative:
+        Evaluate operators with explicit stacks instead of Python
+        recursion (for BDDs deeper than the recursion limit).  Results
+        and node ids are identical to the recursive engine.
     """
 
     ZERO = 0
@@ -58,16 +101,39 @@ class BDDManager:
         var_names: Optional[Sequence[str]] = None,
         order: Optional[Sequence[int]] = None,
         node_limit: Optional[int] = None,
+        iterative: bool = False,
     ) -> None:
         # Parallel arrays indexed by node id.  Terminals occupy ids 0/1
         # with a pseudo-variable of -1.
         self._var: List[int] = [-1, -1]
         self._lo: List[int] = [0, 1]
         self._hi: List[int] = [0, 1]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
-        self._not_cache: Dict[int, int] = {}
+        self._unique: Dict[int, int] = {}
+        self._ite_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._and_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._or_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._xor_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._xnor_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._not_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        # Derived-query memos: composition results, node counts and
+        # supports keyed by node id.  Valid while node structure is
+        # immutable; in-place level swaps drop them via clear_caches().
+        self._compose_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._cofactor_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._size_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._support_cache: BoundedMemo[int, "frozenset[int]"] = BoundedMemo(OP_CACHE_CAP)
         self.node_limit = node_limit
+        self.iterative = iterative
+
+        # Statistics counters (see cache_stats()); plain ints kept cheap
+        # enough to update unconditionally on the hot path.
+        self._unique_hits = 0
+        self._ite_hits = 0
+        self._and_hits = 0
+        self._or_hits = 0
+        self._xor_hits = 0
+        self._xnor_hits = 0
+        self._not_hits = 0
 
         self._names: List[str] = []
         self._level_of: List[int] = []
@@ -77,6 +143,14 @@ class BDDManager:
             self._new_var_slot(name)
         if order is not None:
             self.set_order(order)
+        if iterative:
+            # Swap in the explicit-stack engine (bit-identical results).
+            self.apply_and = self._and_iter  # type: ignore[method-assign]
+            self.apply_or = self._or_iter  # type: ignore[method-assign]
+            self.apply_xor = self._xor_iter  # type: ignore[method-assign]
+            self.apply_xnor = self._xnor_iter  # type: ignore[method-assign]
+            self.negate = self._negate_iter  # type: ignore[method-assign]
+            self._ite_core = self._ite_iter  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Variables and order
@@ -136,11 +210,16 @@ class BDDManager:
         """Return the function of the single negative literal ``¬v``."""
         return self._mk(v, self.ONE, self.ZERO)
 
+    @staticmethod
+    def _ukey(v: int, lo: int, hi: int) -> int:
+        """Packed unique-table / ite-cache key for a triple."""
+        return (v << (2 * _SHIFT)) | (lo << _SHIFT) | hi
+
     def _mk(self, v: int, lo: int, hi: int) -> int:
         """Find-or-create the node ``(v, lo, hi)`` (with reduction)."""
         if lo == hi:
             return lo
-        key = (v, lo, hi)
+        key = (v << 64) | (lo << 32) | hi
         node = self._unique.get(key)
         if node is None:
             node = len(self._var)
@@ -150,7 +229,19 @@ class BDDManager:
             self._lo.append(lo)
             self._hi.append(hi)
             self._unique[key] = node
+        else:
+            self._unique_hits += 1
         return node
+
+    def make_node(self, v: int, lo: int, hi: int) -> int:
+        """Public find-or-create of the reduced node ``(v, lo, hi)``.
+
+        The caller must guarantee the order invariant: the top variables
+        of ``lo`` and ``hi`` sit at strictly deeper levels than ``v``.
+        With that invariant this is exactly ``ite(var(v), hi, lo)`` at a
+        fraction of the cost; structural rebuild loops use it.
+        """
+        return self._mk(v, lo, hi)
 
     def is_terminal(self, f: int) -> bool:
         return f <= 1
@@ -181,7 +272,12 @@ class BDDManager:
     # ITE and Boolean connectives
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f·g ∨ ¬f·h``.  The universal connective."""
+        """If-then-else: ``f·g ∨ ¬f·h``.  The universal connective.
+
+        Standard triples are normalized into the dedicated binary
+        operators before the generic recursion, so semantically equal
+        call shapes hit one shared cache entry.
+        """
         # Terminal short circuits.
         if f == self.ONE:
             return g
@@ -189,55 +285,344 @@ class BDDManager:
             return h
         if g == h:
             return g
-        if g == self.ONE and h == self.ZERO:
-            return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level(f), self._level(g), self._level(h))
+        # Standard-triple normalization toward the binary operators.
+        if g == self.ONE:
+            if h == self.ZERO:
+                return f
+            return self.apply_or(f, h)
+        if h == self.ZERO:
+            return self.apply_and(f, g)
+        if g == self.ZERO and h == self.ONE:
+            return self.negate(f)
+        if f == g:
+            return self.apply_or(f, h)
+        if f == h:
+            return self.apply_and(f, g)
+        return self._ite_core(f, g, h)
+
+    def _ite_core(self, f: int, g: int, h: int) -> int:
+        """Generic ITE recursion (after normalization)."""
+        cache = self._ite_cache
+        key = (f << 64) | (g << 32) | h
+        r = cache.get(key)
+        if r is not None:
+            self._ite_hits += 1
+            return r
+        lvl = self._level_of
+        var = self._var
+        lo_a = self._lo
+        hi_a = self._hi
+        level = lvl[var[f]]
+        if g > 1:
+            lg = lvl[var[g]]
+            if lg < level:
+                level = lg
+        if h > 1:
+            lh = lvl[var[h]]
+            if lh < level:
+                level = lh
         v = self._var_at_level[level]
-        f0, f1 = self._cofactors_at(f, v, level)
-        g0, g1 = self._cofactors_at(g, v, level)
-        h0, h1 = self._cofactors_at(h, v, level)
+        if var[f] == v:
+            f0, f1 = lo_a[f], hi_a[f]
+        else:
+            f0 = f1 = f
+        if g > 1 and var[g] == v:
+            g0, g1 = lo_a[g], hi_a[g]
+        else:
+            g0 = g1 = g
+        if h > 1 and var[h] == v:
+            h0, h1 = lo_a[h], hi_a[h]
+        else:
+            h0 = h1 = h
         lo = self.ite(f0, g0, h0)
         hi = self.ite(f1, g1, h1)
-        result = self._mk(v, lo, hi)
-        self._ite_cache[key] = result
-        return result
+        r = lo if lo == hi else self._mk(v, lo, hi)
+        cache[key] = r
+        return r
 
-    def _cofactors_at(self, f: int, v: int, level: int) -> Tuple[int, int]:
-        """Shannon cofactors of ``f`` w.r.t. ``v``, given ``level_of(v)``."""
-        if self._level(f) == level and self._var[f] == v:
-            return self._lo[f], self._hi[f]
-        return f, f
+    def _split2(self, f: int, g: int) -> Tuple[int, int, int, int, int]:
+        """Top split of two nonterminal operands: ``(v, f0, f1, g0, g1)``."""
+        lvl = self._level_of
+        vf = self._var[f]
+        vg = self._var[g]
+        lf = lvl[vf]
+        lg = lvl[vg]
+        if lf < lg:
+            return vf, self._lo[f], self._hi[f], g, g
+        if lg < lf:
+            return vg, f, f, self._lo[g], self._hi[g]
+        return vf, self._lo[f], self._hi[f], self._lo[g], self._hi[g]
 
     def apply_and(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.ZERO)
+        """Conjunction ``f·g`` (dedicated recursion, operator cache)."""
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        if f < 2:
+            return g if f else 0
+        cache = self._and_cache
+        key = (f << 32) | g
+        r = cache.get(key)
+        if r is not None:
+            self._and_hits += 1
+            return r
+        v, f0, f1, g0, g1 = self._split2(f, g)
+        lo = self.apply_and(f0, g0)
+        hi = self.apply_and(f1, g1)
+        r = lo if lo == hi else self._mk(v, lo, hi)
+        cache[key] = r
+        return r
 
     def apply_or(self, f: int, g: int) -> int:
-        return self.ite(f, self.ONE, g)
+        """Disjunction ``f ∨ g`` (dedicated recursion, operator cache)."""
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        if f < 2:
+            return 1 if f else g
+        cache = self._or_cache
+        key = (f << 32) | g
+        r = cache.get(key)
+        if r is not None:
+            self._or_hits += 1
+            return r
+        v, f0, f1, g0, g1 = self._split2(f, g)
+        lo = self.apply_or(f0, g0)
+        hi = self.apply_or(f1, g1)
+        r = lo if lo == hi else self._mk(v, lo, hi)
+        cache[key] = r
+        return r
 
     def apply_xor(self, f: int, g: int) -> int:
-        return self.ite(f, self.negate(g), g)
+        """Exclusive-or ``f ⊕ g``.
+
+        Dedicated recursion: complements appear only at 1-terminals of
+        the recursion instead of materializing ``negate(g)`` up front.
+        """
+        if f == g:
+            return 0
+        if f > g:
+            f, g = g, f
+        if f < 2:
+            return self.negate(g) if f else g
+        cache = self._xor_cache
+        key = (f << 32) | g
+        r = cache.get(key)
+        if r is not None:
+            self._xor_hits += 1
+            return r
+        v, f0, f1, g0, g1 = self._split2(f, g)
+        lo = self.apply_xor(f0, g0)
+        hi = self.apply_xor(f1, g1)
+        r = lo if lo == hi else self._mk(v, lo, hi)
+        cache[key] = r
+        return r
 
     def apply_xnor(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.negate(g))
+        """Equivalence ``f ⊙ g`` (dedicated recursion)."""
+        if f == g:
+            return 1
+        if f > g:
+            f, g = g, f
+        if f < 2:
+            return g if f else self.negate(g)
+        cache = self._xnor_cache
+        key = (f << 32) | g
+        r = cache.get(key)
+        if r is not None:
+            self._xnor_hits += 1
+            return r
+        v, f0, f1, g0, g1 = self._split2(f, g)
+        lo = self.apply_xnor(f0, g0)
+        hi = self.apply_xnor(f1, g1)
+        r = lo if lo == hi else self._mk(v, lo, hi)
+        cache[key] = r
+        return r
 
     def negate(self, f: int) -> int:
         """Complement of ``f`` (O(|f|); there are no complement edges)."""
-        if f == self.ZERO:
-            return self.ONE
-        if f == self.ONE:
-            return self.ZERO
-        cached = self._not_cache.get(f)
-        if cached is not None:
-            return cached
+        if f < 2:
+            return 1 - f
+        cache = self._not_cache
+        r = cache.get(f)
+        if r is not None:
+            self._not_hits += 1
+            return r
         result = self._mk(self._var[f], self.negate(self._lo[f]), self.negate(self._hi[f]))
-        self._not_cache[f] = result
+        cache[f] = result
         # Complement is an involution: seed the reverse entry too.
-        self._not_cache[result] = f
+        cache[result] = f
         return result
+
+    # ------------------------------------------------------------------
+    # Explicit-stack engine (iterative=True)
+    # ------------------------------------------------------------------
+    # Each evaluator emulates its recursive twin exactly: same terminal
+    # rules, same cache keys, children explored 0-edge first, results
+    # combined in postorder.  Node creation order — and therefore every
+    # node id — is bit-identical to the recursive engine.
+
+    _OP_AND, _OP_OR, _OP_XOR, _OP_XNOR = 0, 1, 2, 3
+
+    def _binary_leaf(self, op: int, f: int, g: int) -> Tuple[int, int, Optional[int]]:
+        """Normalized operands plus the terminal result (or ``None``)."""
+        if f == g:
+            return f, g, (f, f, 0, 1)[op]
+        if f > g:
+            f, g = g, f
+        if f < 2:
+            if op == 0:
+                return f, g, (g if f else 0)
+            if op == 1:
+                return f, g, (1 if f else g)
+            if op == 2:
+                return f, g, (self.negate(g) if f else g)
+            return f, g, (g if f else self.negate(g))
+        return f, g, None
+
+    def _binary_iter(self, op: int, f: int, g: int) -> int:
+        cache = (self._and_cache, self._or_cache, self._xor_cache, self._xnor_cache)[op]
+        todo: List[Tuple[int, ...]] = [(0, f, g)]
+        out: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == 0:
+                _, a, b = frame
+                a, b, res = self._binary_leaf(op, a, b)
+                if res is not None:
+                    out.append(res)
+                    continue
+                key = (a << 32) | b
+                r = cache.get(key)
+                if r is not None:
+                    if op == 0:
+                        self._and_hits += 1
+                    elif op == 1:
+                        self._or_hits += 1
+                    elif op == 2:
+                        self._xor_hits += 1
+                    else:
+                        self._xnor_hits += 1
+                    out.append(r)
+                    continue
+                v, a0, a1, b0, b1 = self._split2(a, b)
+                todo.append((1, key, v))
+                todo.append((0, a1, b1))
+                todo.append((0, a0, b0))
+            else:
+                _, key, v = frame
+                hi = out.pop()
+                lo = out.pop()
+                r = lo if lo == hi else self._mk(v, lo, hi)
+                cache[key] = r
+                out.append(r)
+        return out[0]
+
+    def _and_iter(self, f: int, g: int) -> int:
+        return self._binary_iter(0, f, g)
+
+    def _or_iter(self, f: int, g: int) -> int:
+        return self._binary_iter(1, f, g)
+
+    def _xor_iter(self, f: int, g: int) -> int:
+        return self._binary_iter(2, f, g)
+
+    def _xnor_iter(self, f: int, g: int) -> int:
+        return self._binary_iter(3, f, g)
+
+    def _negate_iter(self, f: int) -> int:
+        if f < 2:
+            return 1 - f
+        cache = self._not_cache
+        todo: List[Tuple[int, int]] = [(0, f)]
+        out: List[int] = []
+        while todo:
+            phase, n = todo.pop()
+            if phase == 0:
+                if n < 2:
+                    out.append(1 - n)
+                    continue
+                r = cache.get(n)
+                if r is not None:
+                    self._not_hits += 1
+                    out.append(r)
+                    continue
+                todo.append((1, n))
+                todo.append((0, self._hi[n]))
+                todo.append((0, self._lo[n]))
+            else:
+                hi = out.pop()
+                lo = out.pop()
+                r = self._mk(self._var[n], lo, hi)
+                cache[n] = r
+                cache[r] = n
+                out.append(r)
+        return out[0]
+
+    def _ite_iter(self, f: int, g: int, h: int) -> int:
+        cache = self._ite_cache
+        todo: List[Tuple[int, ...]] = [(0, f, g, h)]
+        out: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == 0:
+                _, a, b, c = frame
+                # Mirror of ite()'s normalization (binary ops and negate
+                # are already iterative here, so no Python recursion).
+                if a == 1:
+                    out.append(b)
+                    continue
+                if a == 0:
+                    out.append(c)
+                    continue
+                if b == c:
+                    out.append(b)
+                    continue
+                if b == 1:
+                    out.append(a if c == 0 else self.apply_or(a, c))
+                    continue
+                if c == 0:
+                    out.append(self.apply_and(a, b))
+                    continue
+                if b == 0 and c == 1:
+                    out.append(self.negate(a))
+                    continue
+                if a == b:
+                    out.append(self.apply_or(a, c))
+                    continue
+                if a == c:
+                    out.append(self.apply_and(a, b))
+                    continue
+                key = (a << 64) | (b << 32) | c
+                r = cache.get(key)
+                if r is not None:
+                    self._ite_hits += 1
+                    out.append(r)
+                    continue
+                lvl = self._level_of
+                var = self._var
+                level = lvl[var[a]]
+                if b > 1 and lvl[var[b]] < level:
+                    level = lvl[var[b]]
+                if c > 1 and lvl[var[c]] < level:
+                    level = lvl[var[c]]
+                v = self._var_at_level[level]
+                a0, a1 = (self._lo[a], self._hi[a]) if var[a] == v else (a, a)
+                b0, b1 = (self._lo[b], self._hi[b]) if b > 1 and var[b] == v else (b, b)
+                c0, c1 = (self._lo[c], self._hi[c]) if c > 1 and var[c] == v else (c, c)
+                todo.append((1, key, v))
+                todo.append((0, a1, b1, c1))
+                todo.append((0, a0, b0, c0))
+            else:
+                _, key, v = frame
+                hi = out.pop()
+                lo = out.pop()
+                r = lo if lo == hi else self._mk(v, lo, hi)
+                cache[key] = r
+                out.append(r)
+        return out[0]
 
     def apply_many(self, op: str, funcs: Sequence[int]) -> int:
         """Fold ``op`` ('and'/'or'/'xor') over ``funcs``."""
@@ -262,31 +647,56 @@ class BDDManager:
     # Cofactor / compose / quantification
     # ------------------------------------------------------------------
     def cofactor(self, f: int, v: int, value: bool) -> int:
-        """Restrict: ``f`` with variable ``v`` fixed to ``value``."""
+        """Restrict: ``f`` with variable ``v`` fixed to ``value``.
+
+        Memoized manager-wide, keyed ``(node, v, value)`` — the
+        collapse phase restricts the same fanout function on the same
+        variable once per merge probe, and :meth:`compose` calls both
+        polarities back to back.
+        """
         target_level = self._level_of[v]
-        cache: Dict[int, int] = {}
+        level_of = self._level_of
+        var_a = self._var
+        lo_a = self._lo
+        hi_a = self._hi
+        mk = self._mk
+        cache = self._cofactor_cache
+        cache_get = cache.get
+        tag = (v << 1) | (1 if value else 0)
 
         def walk(node: int) -> int:
             if node <= 1:
                 return node
-            lvl = self._level_of[self._var[node]]
+            lvl = level_of[var_a[node]]
             if lvl > target_level:
                 return node
-            got = cache.get(node)
+            key = (node << _SHIFT) | tag
+            got = cache_get(key)
             if got is not None:
                 return got
             if lvl == target_level:
-                result = self._hi[node] if value else self._lo[node]
+                result = hi_a[node] if value else lo_a[node]
             else:
-                result = self._mk(self._var[node], walk(self._lo[node]), walk(self._hi[node]))
-            cache[node] = result
+                result = mk(var_a[node], walk(lo_a[node]), walk(hi_a[node]))
+            cache[key] = result
             return result
 
         return walk(f)
 
     def compose(self, f: int, v: int, g: int) -> int:
-        """Substitute function ``g`` for variable ``v`` inside ``f``."""
-        return self.ite(g, self.cofactor(f, v, True), self.cofactor(f, v, False))
+        """Substitute function ``g`` for variable ``v`` inside ``f``.
+
+        Results are memoized: the collapse phase probes the same
+        (fanin, fanout) substitution once per ``mergable`` test and
+        again when the merge commits, and re-probes surviving pairs
+        every iteration.
+        """
+        key = (f << (2 * _SHIFT)) | (v << _SHIFT) | g
+        got = self._compose_cache.get(key)
+        if got is None:
+            got = self.ite(g, self.cofactor(f, v, True), self.cofactor(f, v, False))
+            self._compose_cache[key] = got
+        return got
 
     def exists(self, f: int, variables: Iterable[int]) -> int:
         """Existential quantification over ``variables``."""
@@ -306,27 +716,68 @@ class BDDManager:
     # Queries
     # ------------------------------------------------------------------
     def support(self, f: int) -> Set[int]:
-        """Set of variables ``f`` explicitly depends on."""
-        seen: Set[int] = set()
-        vars_found: Set[int] = set()
+        """Set of variables ``f`` explicitly depends on (memoized; a
+        fresh mutable set is returned per call)."""
+        return set(self.support_frozen(f))
+
+    def support_frozen(self, f: int) -> "frozenset[int]":
+        """Memoized support as a shared frozenset (no per-call copy —
+        the DP's base-case test probes supports millions of times).
+
+        The memo is *per node*, computed post-order: ``support(n) =
+        support(lo) ∪ support(hi) ∪ {var(n)}``.  The DP's sub-BDD
+        functions share substructure heavily, so most queries resolve
+        from already-computed children instead of re-walking the DAG.
+        """
+        if f <= 1:
+            return _EMPTY_SUPPORT
+        cache = self._support_cache
+        cache_get = cache.get
+        result = cache_get(f)
+        if result is not None:
+            return result
+        var = self._var
+        lo = self._lo
+        hi = self._hi
         stack = [f]
+        push = stack.append
         while stack:
-            node = stack.pop()
-            if node <= 1 or node in seen:
+            node = stack[-1]
+            got = cache_get(node)
+            if got is not None:
+                stack.pop()
+                result = got
                 continue
-            seen.add(node)
-            vars_found.add(self._var[node])
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
-        return vars_found
+            lc = lo[node]
+            hc = hi[node]
+            ls = _EMPTY_SUPPORT if lc <= 1 else cache_get(lc)
+            hs = _EMPTY_SUPPORT if hc <= 1 else cache_get(hc)
+            if ls is None or hs is None:
+                if ls is None:
+                    push(lc)
+                if hs is None:
+                    push(hc)
+                continue
+            stack.pop()
+            # The tested variable sits strictly above both children's
+            # supports, so the union never needs a membership check.
+            result = ls | hs | {var[node]}
+            cache[node] = result
+        return result
 
     def support_ordered(self, f: int) -> List[int]:
         """Support variables, top of the order first."""
-        return sorted(self.support(f), key=lambda v: self._level_of[v])
+        return sorted(self.support_frozen(f), key=lambda v: self._level_of[v])
 
     def count_nodes(self, f: int) -> int:
-        """Number of nodes reachable from ``f``, including terminals."""
-        return len(self.reachable(f))
+        """Number of nodes reachable from ``f``, including terminals
+        (memoized — collapse gain scoring sizes the same BDDs over and
+        over)."""
+        got = self._size_cache.get(f)
+        if got is None:
+            got = len(self.reachable(f))
+            self._size_cache[f] = got
+        return got
 
     def count_nodes_multi(self, roots: Iterable[int]) -> int:
         """Shared node count of several roots, including terminals."""
@@ -346,14 +797,19 @@ class BDDManager:
         """All node ids reachable from ``f`` (terminals included)."""
         seen: Set[int] = set()
         stack = [f]
+        lo = self._lo
+        hi = self._hi
+        seen_add = seen.add
+        push = stack.append
+        pop = stack.pop
         while stack:
-            node = stack.pop()
+            node = pop()
             if node in seen:
                 continue
-            seen.add(node)
+            seen_add(node)
             if node > 1:
-                stack.append(self._lo[node])
-                stack.append(self._hi[node])
+                push(lo[node])
+                push(hi[node])
         return seen
 
     def eval(self, f: int, assignment: "Dict[int, bool] | Sequence[bool]") -> bool:
@@ -412,6 +868,60 @@ class BDDManager:
                 yield node, self._var[node], self._lo[node], self._hi[node]
 
     # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+    def iter_unique_items(self) -> Iterator[Tuple[Tuple[int, int, int], int]]:
+        """Yield ``((var, lo, hi), node)`` for every unique-table entry."""
+        for key, node in self._unique.items():
+            yield (key >> (2 * _SHIFT), (key >> _SHIFT) & _MASK, key & _MASK), node
+
+    def iter_ite_items(self) -> Iterator[Tuple[Tuple[int, int, int], int]]:
+        """Yield ``((f, g, h), result)`` for every ite-cache entry."""
+        for key, r in self._ite_cache.items():
+            yield (key >> (2 * _SHIFT), (key >> _SHIFT) & _MASK, key & _MASK), r
+
+    def iter_binary_cache_items(self, op: str) -> Iterator[Tuple[Tuple[int, int], int]]:
+        """Yield ``((f, g), result)`` entries of one binary-operator cache."""
+        cache = {
+            "and": self._and_cache,
+            "or": self._or_cache,
+            "xor": self._xor_cache,
+            "xnor": self._xnor_cache,
+        }[op]
+        for key, r in cache.items():
+            yield (key >> _SHIFT, key & _MASK), r
+
+    def iter_not_items(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(f, negate(f))`` for every negation-cache entry."""
+        yield from self._not_cache.items()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Unique-table and operator-cache counters (cheap snapshot).
+
+        ``*_hits`` counts cache hits since construction; ``*_entries``
+        is the current entry count (misses that produced a result).
+        ``unique_hits`` counts node find-or-create calls satisfied by an
+        existing node.
+        """
+        return {
+            "nodes": len(self._var),
+            "unique_entries": len(self._unique),
+            "unique_hits": self._unique_hits,
+            "ite_entries": len(self._ite_cache),
+            "ite_hits": self._ite_hits,
+            "and_entries": len(self._and_cache),
+            "and_hits": self._and_hits,
+            "or_entries": len(self._or_cache),
+            "or_hits": self._or_hits,
+            "xor_entries": len(self._xor_cache),
+            "xor_hits": self._xor_hits,
+            "xnor_entries": len(self._xnor_cache),
+            "xnor_hits": self._xnor_hits,
+            "not_entries": len(self._not_cache),
+            "not_hits": self._not_hits,
+        }
+
+    # ------------------------------------------------------------------
     # Transfer between managers
     # ------------------------------------------------------------------
     def transfer(self, f: int, other: "BDDManager", var_map: Optional[Dict[int, int]] = None) -> int:
@@ -453,8 +963,22 @@ class BDDManager:
     # ------------------------------------------------------------------
     # In-place reordering support (Rudell sifting)
     # ------------------------------------------------------------------
-    def swap_adjacent_levels(self, level: int, nodes: Optional[Iterable[int]] = None) -> None:
+    def swap_adjacent_levels(
+        self,
+        level: int,
+        nodes: Optional[Iterable[int]] = None,
+        record: Optional[List[Tuple[int, int, int, int, int]]] = None,
+    ) -> int:
         """Swap the variables at ``level`` and ``level + 1`` in place.
+        Returns the number of nodes rewritten (0 means no structure
+        changed — the two variables never interact, only the level maps
+        moved — so callers may skip any reachability recount).
+
+        ``record``, when given, receives one tuple
+        ``(node, old_lo, old_hi, new_lo, new_hi)`` per rewritten node —
+        exactly the edge deltas a caller needs to maintain reachability
+        information incrementally (see :func:`repro.bdd.reorder
+        .sift_inplace`).
 
         Implements the classical adjacent-variable swap: every node
         testing the upper variable ``x`` whose children test the lower
@@ -472,40 +996,56 @@ class BDDManager:
         """
         x = self._var_at_level[level]
         y = self._var_at_level[level + 1]
-        pool = range(2, len(self._var)) if nodes is None else nodes
-        xs = [n for n in pool if n > 1 and self._var[n] == x]
+        var = self._var
+        pool = range(2, len(var)) if nodes is None else nodes
+        xs = [n for n in pool if n > 1 and var[n] == x]
+        rewritten = 0
         for n in xs:
             lo, hi = self._lo[n], self._hi[n]
-            lo_tests_y = lo > 1 and self._var[lo] == y
-            hi_tests_y = hi > 1 and self._var[hi] == y
+            lo_tests_y = lo > 1 and var[lo] == y
+            hi_tests_y = hi > 1 and var[hi] == y
             if not lo_tests_y and not hi_tests_y:
                 continue  # independent of y: moves down a level as-is
             f11 = self._hi[hi] if hi_tests_y else hi
             f10 = self._lo[hi] if hi_tests_y else hi
             f01 = self._hi[lo] if lo_tests_y else lo
             f00 = self._lo[lo] if lo_tests_y else lo
-            del self._unique[(x, lo, hi)]
+            del self._unique[(x << 64) | (lo << 32) | hi]
             new_hi = self._mk(x, f01, f11)
             new_lo = self._mk(x, f00, f10)
             # n becomes ite(y, new_hi, new_lo); hi' == lo' cannot happen
             # for a reduced node (see tests), so n stays a real node.
-            self._var[n] = y
+            var[n] = y
             self._lo[n] = new_lo
             self._hi[n] = new_hi
-            self._unique[(y, new_lo, new_hi)] = n
+            self._unique[(y << 64) | (new_lo << 32) | new_hi] = n
+            rewritten += 1
+            if record is not None:
+                record.append((n, lo, hi, new_lo, new_hi))
         self._var_at_level[level] = y
         self._var_at_level[level + 1] = x
         self._level_of[x] = level + 1
         self._level_of[y] = level
-        self.clear_caches()
+        if rewritten:
+            self.clear_caches()
+        return rewritten
 
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
-        """Drop operation caches (unique table is kept)."""
+        """Drop operation and derived-query caches (unique table is
+        kept)."""
         self._ite_cache.clear()
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._xor_cache.clear()
+        self._xnor_cache.clear()
         self._not_cache.clear()
+        self._compose_cache.clear()
+        self._cofactor_cache.clear()
+        self._size_cache.clear()
+        self._support_cache.clear()
 
     def compact(self, roots: Sequence[int]) -> Tuple["BDDManager", List[int]]:
         """Garbage-collect: rebuild only the given roots in a fresh
@@ -518,6 +1058,7 @@ class BDDManager:
             var_names=[self.var_name(v) for v in range(self.num_vars)],
             order=self.order,
             node_limit=self.node_limit,
+            iterative=self.iterative,
         )
         new_roots = [self.transfer(r, fresh) for r in roots]
         return fresh, new_roots

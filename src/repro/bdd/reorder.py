@@ -74,28 +74,93 @@ def sift(mgr: BDDManager, f: int) -> Tuple[BDDManager, int, List[int]]:
     return final_mgr, final_f, final_order
 
 
-def sift_inplace(mgr: BDDManager, root: int, num_support: Optional[int] = None) -> int:
+def sift_inplace(
+    mgr: BDDManager,
+    root: int,
+    num_support: Optional[int] = None,
+    audit: bool = False,
+) -> int:
     """Sift the top ``num_support`` levels of a private manager in
     place; returns the final shared node count of ``root``.
 
     Every id reachable from ``root`` keeps its function throughout.
+    ``audit`` cross-checks the incremental live set against a
+    from-scratch traversal on exit (tests enable it; production runs
+    keep the repo's zero-overhead-by-default convention).
     """
     n = num_support if num_support is not None else mgr.num_vars
     if n <= 1:
         return mgr.count_nodes(root)
-    best_size = mgr.count_nodes(root)
+    # One reachability DFS up front; afterwards the live set is
+    # maintained *incrementally* from the edge deltas each swap reports
+    # (the classical loop pays a full traversal per swap, which
+    # dominates sifting cost).  ``ref[m]`` counts m's live parents,
+    # plus a pin on the root; a node dies when its count reaches zero
+    # and is reborn — children re-pinned — when a swap re-links it.
+    lo_a = mgr._lo
+    hi_a = mgr._hi
+    live = mgr.reachable(root)
+    ref: Dict[int, int] = {root: 1}
+    ref_get = ref.get
+    for node in live:
+        if node > 1:
+            c = lo_a[node]
+            ref[c] = ref_get(c, 0) + 1
+            c = hi_a[node]
+            ref[c] = ref_get(c, 0) + 1
+    live_add = live.add
+    live_discard = live.discard
+    best_size = len(live)
     # Sift variables in decreasing occupancy (Rudell's priority).
     occupancy: Dict[int, int] = {}
-    for _, var, _, _ in mgr.iter_nodes(root):
-        occupancy[var] = occupancy.get(var, 0) + 1
+    for node in live:
+        if node > 1:
+            var = mgr.top_var(node)
+            occupancy[var] = occupancy.get(var, 0) + 1
     priority = sorted(
         (mgr.var_at_level(l) for l in range(n)),
         key=lambda v: -occupancy.get(v, 0),
     )
+    record: List[Tuple[int, int, int, int, int]] = []
+
     def swap(pos: int) -> int:
-        live = mgr.reachable(root)
-        mgr.swap_adjacent_levels(pos, nodes=live)
-        return mgr.count_nodes(root)
+        record.clear()
+        if not mgr.swap_adjacent_levels(pos, nodes=live, record=record):
+            return len(live)
+        # Apply the edge deltas in two batched passes (all references
+        # gained, then all dropped).  Reference counts are additive, and
+        # every birth/death transition re-pins/releases its children, so
+        # the final live set is independent of the processing order.
+        incs: List[int] = []
+        decs: List[int] = []
+        ipush = incs.append
+        dpush = decs.append
+        for _n, old_lo, old_hi, new_lo, new_hi in record:
+            if new_lo != old_lo:
+                ipush(new_lo)
+                dpush(old_lo)
+            if new_hi != old_hi:
+                ipush(new_hi)
+                dpush(old_hi)
+        while incs:
+            m = incs.pop()
+            r = ref_get(m, 0)
+            ref[m] = r + 1
+            if r == 0:
+                live_add(m)
+                if m > 1:
+                    ipush(lo_a[m])
+                    ipush(hi_a[m])
+        while decs:
+            m = decs.pop()
+            r = ref[m] - 1
+            ref[m] = r
+            if r == 0:
+                live_discard(m)
+                if m > 1:
+                    dpush(lo_a[m])
+                    dpush(hi_a[m])
+        return len(live)
 
     for v in priority:
         start = mgr.level_of(v)
@@ -117,7 +182,9 @@ def sift_inplace(mgr: BDDManager, root: int, num_support: Optional[int] = None) 
         while pos < best_pos:
             swap(pos)
             pos += 1
-    return mgr.count_nodes(root)
+    if audit and live != mgr.reachable(root):
+        raise AssertionError("incremental live set drifted")
+    return len(live)
 
 
 def exhaustive_reorder(mgr: BDDManager, f: int) -> Tuple[BDDManager, int, List[int]]:

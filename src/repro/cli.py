@@ -59,14 +59,30 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         **kwargs,
     )
-    if args.flow == "ddbdd":
-        result = ddbdd_synthesize(net, config)
-    elif args.flow == "bdspga":
-        result = bdspga_synthesize(net)
-    elif args.flow == "sis-daomap":
-        result = sis_daomap_flow(net, k=args.k)
+    def run():
+        if args.flow == "ddbdd":
+            return ddbdd_synthesize(net, config)
+        if args.flow == "bdspga":
+            return bdspga_synthesize(net)
+        if args.flow == "sis-daomap":
+            return sis_daomap_flow(net, k=args.k)
+        return abc_flow(net, k=args.k)
+
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run()
+        profiler.disable()
+        for sort in ("cumulative", "tottime"):
+            print(f"--- profile: top {args.profile} by {sort} ---")
+            pstats.Stats(profiler, stream=sys.stdout).sort_stats(sort).print_stats(
+                args.profile
+            )
     else:
-        result = abc_flow(net, k=args.k)
+        result = run()
     print(f"{args.flow}: depth={result.depth} area={result.area} LUTs (K={args.k})")
     if args.stats:
         stats = getattr(result, "runtime_stats", None)
@@ -163,6 +179,16 @@ def main(argv: Optional[list] = None) -> int:
     )
     p.add_argument(
         "--stats", action="store_true", help="print runtime telemetry after synthesis"
+    )
+    p.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        default=None,
+        type=int,
+        metavar="N",
+        help="run the flow under cProfile and print the top N entries "
+        "by cumulative and total time (default N=25)",
     )
     p.add_argument("-o", "--output", help="write mapped BLIF here")
     p.set_defaults(func=_cmd_synth)

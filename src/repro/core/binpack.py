@@ -19,55 +19,113 @@ Figure 12 of the paper is reproduced verbatim in the unit tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
-@dataclass
 class Box:
     """One packable item: an AND gate (or buffer) with known input depth.
 
     ``size`` is the gate's input count (2 for a binary AND from linear
     expansion, 1 for a degenerate AND/buffer).  ``payload`` is opaque to
-    the packer; emission uses it to rebuild functions.
+    the packer; emission uses it to rebuild functions.  Plain
+    ``__slots__`` class — the DP cost model allocates one per gate per
+    candidate evaluation.
     """
 
-    depth: int
-    size: int
-    payload: Any
+    __slots__ = ("depth", "size", "payload")
+
+    def __init__(self, depth: int, size: int, payload: Any) -> None:
+        self.depth = depth
+        self.size = size
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Box(depth={self.depth}, size={self.size}, payload={self.payload!r})"
 
 
-@dataclass
 class PackedBin:
     """A bin = one K-input LUT computing the OR of its items.
 
     ``items`` holds the original boxes; a box whose payload is itself a
     :class:`PackedBin` is a buffer of a previously created OR LUT.  The
     LUT's inputs settle at ``depth`` and its output at ``depth + 1``.
+    ``used`` is the occupied capacity, maintained incrementally (the
+    packer probes it once per bin per box).
     """
 
-    depth: int
-    items: List[Box] = field(default_factory=list)
+    __slots__ = ("depth", "items", "used")
 
-    @property
-    def used(self) -> int:
-        return sum(b.size for b in self.items)
+    def __init__(
+        self, depth: int, items: Optional[List[Box]] = None, used: int = -1
+    ) -> None:
+        self.depth = depth
+        self.items = [] if items is None else items
+        self.used = sum(b.size for b in self.items) if used < 0 else used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedBin(depth={self.depth}, items={self.items!r}, used={self.used})"
 
 
 def first_fit_decreasing(boxes: List[Box], k: int) -> List[PackedBin]:
     """Pack ``boxes`` (all of one depth group) into bins of capacity
     ``k``, first-fit over boxes sorted by decreasing size."""
-    bins: List[PackedBin] = []
-    for box in sorted(boxes, key=lambda b: (-b.size,)):
+    if len(boxes) == 1:
+        box = boxes[0]
         if box.size > k:
             raise ValueError(f"box of size {box.size} cannot fit a {k}-input LUT")
+        return [PackedBin(box.depth, [box], box.size)]
+    bins: List[PackedBin] = []
+    for box in sorted(boxes, key=lambda b: -b.size):
+        size = box.size
+        if size > k:
+            raise ValueError(f"box of size {size} cannot fit a {k}-input LUT")
         for bin_ in bins:
-            if bin_.used + box.size <= k:
+            if bin_.used + size <= k:
                 bin_.items.append(box)
+                bin_.used += size
                 break
         else:
-            bins.append(PackedBin(box.depth, [box]))
+            bins.append(PackedBin(box.depth, [box], size))
     return bins
+
+
+def pack_or_cost(groups: Dict[int, List[int]], k: int) -> Tuple[int, int]:
+    """``(mapping_depth, lut_count)`` of :func:`pack_or_gates`, computed
+    arithmetically — no :class:`Box`/:class:`PackedBin` construction.
+
+    ``groups`` maps each depth to ``[n2, n1]``: how many 2-input and
+    1-input boxes sit at that depth (the only sizes linear expansion
+    and its buffer boxes produce).  First-fit-decreasing over sizes
+    {2, 1} is closed-form: 2s fill ``k // 2`` per bin, 1s fill the
+    leftovers in creation order, so only the counts matter.  The DP's
+    candidate-cost probe calls this thousands of times per supernode
+    and needs just the two numbers; emission still runs the real
+    packer.  ``groups`` is consumed.
+    """
+    if not groups:
+        raise ValueError("cannot pack an empty gate list")
+    cap2 = k // 2
+    if cap2 < 1:
+        raise ValueError(f"2-input boxes cannot fit a {k}-input LUT")
+    odd = k & 1
+    created = 0
+    while True:
+        d = min(groups)
+        n2, n1 = groups.pop(d)
+        full2, rem2 = divmod(n2, cap2)
+        bins = full2 + (1 if rem2 else 0)
+        leftover = full2 * odd + (k - 2 * rem2 if rem2 else 0)
+        extra = n1 - leftover
+        if extra > 0:
+            bins += (extra + k - 1) // k
+        if bins == 1 and not groups:
+            return d + 1, created + 1
+        created += bins
+        nxt = groups.get(d + 1)
+        if nxt is None:
+            groups[d + 1] = [0, bins]
+        else:
+            nxt[1] += bins
 
 
 def pack_or_gates(boxes: List[Box], k: int) -> Tuple[int, PackedBin, List[PackedBin]]:

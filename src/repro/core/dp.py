@@ -24,13 +24,13 @@ as K-LUT nodes in a target :class:`~repro.network.netlist.BooleanNetwork`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bdd.leveled import LeveledBDD
 from repro.bdd.manager import BDDManager
 from repro.bdd.reorder import reorder_for_size
-from repro.core.binpack import Box, PackedBin, pack_or_gates
+from repro.core.binpack import Box, PackedBin, pack_or_cost, pack_or_gates
 from repro.core.config import DDBDDConfig
 from repro.core.linear import Candidate, KIND_PRIORITY, State, candidates_for_cut
 from repro.network.netlist import BooleanNetwork
@@ -106,6 +106,19 @@ class BDDSynthesizer:
         self.input_delays = dict(input_delays)
         self._delay: Dict[State, int] = {}
         self._plan: Dict[State, _Best] = {}
+        # Hot-path memos: BDD supports and per-(state, j) decomposition
+        # candidates are pure functions of the (immutable) leveled BDD,
+        # shared across DP states that reference the same structure.
+        self._support_memo: BoundedMemo[int, FrozenSet[int]] = BoundedMemo()
+        self._cand_memo: BoundedMemo[Tuple[int, int, int, int], List[Candidate]] = BoundedMemo()
+
+    def _support_of(self, func: int) -> FrozenSet[int]:
+        """Memoized ``mgr.support`` (states frequently share functions)."""
+        got = self._support_memo.get(func)
+        if got is None:
+            got = self.mgr.support_frozen(func)
+            self._support_memo[func] = got
+        return got
 
     # ------------------------------------------------------------------
     # Dynamic program
@@ -165,7 +178,7 @@ class BDDSynthesizer:
         # delay-optimal (every implementation is bounded below by
         # max(input arrival)+1) and area-optimal — no cut can beat it.
         func = self.lb.bs_function(u, l, v)
-        support = self.mgr.support(func)
+        support = self._support_of(func)
         if len(support) == 1:
             # The sub-BDD collapsed to a bare literal.
             var = next(iter(support))
@@ -190,48 +203,93 @@ class BDDSynthesizer:
         return best.delay
 
     def _search_cuts(self, u: int, l: int, v: int, pruned_ok: bool) -> Optional[_Best]:
+        # Hot loop: cut-set sizes are computed once, attribute lookups
+        # are hoisted, and candidate lists are memoized per (state, j).
         thresh = self.config.thresh
-        best: Optional[_Best] = None
+        cut_set = self.lb.cut_set
+        sizes = [len(cut_set(u, j)) for j in range(l)]
         js: List[int]
         if pruned_ok:
-            js = [j for j in range(l) if len(self.lb.cut_set(u, j)) <= thresh]
+            js = [j for j, size in enumerate(sizes) if size <= thresh]
         else:
-            js = [min(range(l), key=lambda j: len(self.lb.cut_set(u, j)))]
+            js = [min(range(l), key=sizes.__getitem__)]
+        best: Optional[_Best] = None
+        best_delay = 0
+        best_luts = 0
+        best_prio = 0
+        cost = self._candidate_cost
+        priority = KIND_PRIORITY
         for j in js:
-            for cand in candidates_for_cut(
+            for cand in self._candidates(u, l, v, j):
+                d, luts = cost(cand)
+                if best is not None:
+                    if d > best_delay:
+                        continue
+                    if d == best_delay:
+                        if luts > best_luts:
+                            continue
+                        if luts == best_luts and priority[cand.kind] >= best_prio:
+                            continue
+                best = _Best(d, luts, cand)
+                best_delay, best_luts, best_prio = d, luts, priority[cand.kind]
+        return best
+
+    def _candidates(self, u: int, l: int, v: int, j: int) -> List[Candidate]:
+        """Memoized :func:`candidates_for_cut` (structure is shared
+        between the pruned search and the fallback retry)."""
+        key = (u, l, v, j)
+        got = self._cand_memo.get(key)
+        if got is None:
+            got = candidates_for_cut(
                 self.lb, u, l, v, j,
                 use_special=self.config.use_special_decompositions,
                 k=self.config.k,
-            ):
-                d, luts = self._candidate_cost(cand)
-                if (
-                    best is None
-                    or d < best.delay
-                    or (d == best.delay and luts < best.luts)
-                    or (
-                        d == best.delay
-                        and luts == best.luts
-                        and KIND_PRIORITY[cand.kind] < KIND_PRIORITY[best.candidate.kind]
-                    )
-                ):
-                    best = _Best(d, luts, cand)
-        return best
+            )
+            self._cand_memo[key] = got
+        return got
 
     def _candidate_cost(self, cand: Candidate) -> Tuple[int, int]:
-        """(mapping depth, local LUT count) of a candidate."""
+        """(mapping depth, local LUT count) of a candidate.
+
+        Sub-state delays are probed straight from the memo table and
+        only fall back to the recursive :meth:`delay` on a miss — this
+        is the hottest loop of the DP and most states are warm.
+        """
         kind = cand.kind
+        memo = self._delay
+        memo_get = memo.get
+        delay = self.delay
         if kind == "alias":
-            return self.delay(cand.operands[0]), 0
+            s = cand.operands[0]
+            ds = memo_get(s)
+            return (delay(s) if ds is None else ds), 0
         if kind in ("and", "or", "xnor", "mux"):
-            d = max(self.delay(s) for s in cand.operands)
+            d = 0
+            for s in cand.operands:
+                ds = memo_get(s)
+                if ds is None:
+                    ds = delay(s)
+                if ds > d:
+                    d = ds
             return d + 1, 1
         assert kind == "linear"
-        boxes = [
-            Box(max(self.delay(s) for s in gate.ops), gate.size, gate)
-            for gate in cand.gates
-        ]
-        depth, _out, created = pack_or_gates(boxes, self.config.k)
-        return depth, len(created)
+        # Counting-only packing: the probe needs (depth, LUT count),
+        # not the bins — see :func:`repro.core.binpack.pack_or_cost`.
+        groups: Dict[int, List[int]] = {}
+        groups_get = groups.get
+        for gate in cand.gates:
+            d = 0
+            for s in gate.ops:
+                ds = memo_get(s)
+                if ds is None:
+                    ds = delay(s)
+                if ds > d:
+                    d = ds
+            counts = groups_get(d)
+            if counts is None:
+                counts = groups[d] = [0, 0]
+            counts[0 if len(gate.ops) == 2 else 1] += 1
+        return pack_or_cost(groups, self.config.k)
 
     @property
     def states_visited(self) -> int:

@@ -24,7 +24,6 @@ mapping depth, so :func:`candidates_for_cut` returns them instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.bdd.leveled import LeveledBDD
@@ -34,18 +33,27 @@ from repro.bdd.leveled import LeveledBDD
 State = Tuple[int, int, int]
 
 
-@dataclass(frozen=True)
 class Gate:
-    """One AND gate of a linear expansion: conjunction of 1 or 2 states."""
+    """One AND gate of a linear expansion: conjunction of 1 or 2 states.
 
-    ops: Tuple[State, ...]
+    Plain ``__slots__`` class: the DP allocates one per cut-set member
+    per (state, cut) pair, and frozen-dataclass construction is an
+    order of magnitude more expensive.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Tuple[State, ...]) -> None:
+        self.ops = ops
 
     @property
     def size(self) -> int:
         return len(self.ops)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gate(ops={self.ops!r})"
 
-@dataclass(frozen=True)
+
 class Candidate:
     """One decomposition option for a state at a specific cut ``j``.
 
@@ -59,26 +67,72 @@ class Candidate:
     * ``linear``   — gates: OR of AND gates, bin-packed into LUTs.
     """
 
-    kind: str
-    j: int
-    operands: Tuple[State, ...] = ()
-    gates: Tuple[Gate, ...] = ()
+    __slots__ = ("kind", "j", "operands", "gates")
+
+    def __init__(
+        self,
+        kind: str,
+        j: int,
+        operands: Tuple[State, ...] = (),
+        gates: Tuple[Gate, ...] = (),
+    ) -> None:
+        self.kind = kind
+        self.j = j
+        self.operands = operands
+        self.gates = gates
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Candidate(kind={self.kind!r}, j={self.j}, "
+            f"operands={self.operands!r}, gates={self.gates!r})"
+        )
+
+
+def _gate_rows(lb: LeveledBDD, u: int, l: int, j: int):
+    """Prepared rows ``(w, rel, CS(w, rel))`` for every ``w ∈ CS(u, j)``.
+
+    Everything in the expansion except the final membership test is
+    independent of the terminal-1 choice ``v``, and the DP evaluates
+    the same ``(u, l, j)`` for every ``v ∈ CS(u, l)`` — so the levels,
+    relative cuts and continuation cut sets are resolved once and
+    cached on the leveled BDD.  A row's cut set is ``None`` when ``w``
+    lies below cut ``l`` (it is mapped to terminal 0 unless ``w == v``).
+    """
+    node_level = lb.node_level
+    cut_abs = node_level[u] + l
+    cs_sets = lb._cs_sets
+    extend = lb._extend_cut_sets
+    rows = []
+    append = rows.append
+    for w in lb.cut_set(u, j):
+        level_w = node_level[w]
+        if level_w > cut_abs:
+            append((w, 0, None))  # w ∈ CS(u, l): only the w == v case
+            continue
+        rel = cut_abs - level_w
+        members = cs_sets.get(w)
+        if members is None or rel >= len(members):
+            extend(w, rel)
+            members = cs_sets[w]
+        append((w, rel, members[rel]))
+    lb._gate_rows[(u, l, j)] = rows
+    return rows
 
 
 def enumerate_gates(lb: LeveledBDD, u: int, l: int, v: int, j: int) -> List[Gate]:
     """AND gates of the linear expansion of ``Bs(u, l, v)`` at cut ``j``."""
-    cut_abs = lb.level(u) + l
+    rows = lb._gate_rows.get((u, l, j))
+    if rows is None:
+        rows = _gate_rows(lb, u, l, j)
     gates: List[Gate] = []
-    for w in lb.cut_set(u, j):
+    append = gates.append
+    for w, rel, members in rows:
         if w == v:
-            gates.append(Gate(((u, j, v),)))
-            continue
-        if lb.level(w) > cut_abs:
-            continue  # w ∈ CS(u, l): mapped to terminal 0 in Bs(u, l, v)
-        rel = cut_abs - lb.level(w)
-        if not lb.cut_set_contains(w, rel, v):
-            continue  # the cone from w collapses to logic 0
-        gates.append(Gate(((u, j, w), (w, rel, v))))
+            append(Gate(((u, j, v),)))
+        elif members is not None and v in members:
+            append(Gate(((u, j, w), (w, rel, v))))
+        # Otherwise: w sits below cut l (terminal 0), or the cone from
+        # w collapses to logic 0 — no gate either way.
     return gates
 
 

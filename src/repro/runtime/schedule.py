@@ -28,6 +28,7 @@ that is the determinism contract ``jobs=N ≡ jobs=1``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+import os
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.hooks import StageVerifier
@@ -47,10 +48,15 @@ KIND_SUPERNODE = "supernode"
 
 #: Minimum summed canonical-DAG size before a wavefront batch is worth
 #: shipping to the process pool.  A DP costs roughly 0.25 ms per BDD
-#: node (measured), so below this the fork/pickle round-trip dominates
-#: and the batch runs inline — same records either way, so the
-#: determinism contract is unaffected.
-MIN_POOL_WORK = 96
+#: node (measured), so 768 nodes is ~200 ms of work — enough that a
+#: second worker recoups the few-ms fork/pickle round trip with a
+#: healthy margin; below it the batch runs inline.  (The old value of
+#: 96 shipped ~25 ms batches, whose IPC overhead made ``jobs=4``
+#: *slower* than serial.)  Same records either way, so the determinism
+#: contract is unaffected.  On the Table I suite this keeps the small
+#: wavefronts (60–300 nodes) inline and ships only the big ones
+#: (≈850–4600 nodes).
+MIN_POOL_WORK = 768
 
 
 @dataclass
@@ -153,11 +159,30 @@ def run_wavefronts(
     :class:`~repro.core.dp.SupernodeResult` list in serial order.
     """
     plan = plan_wavefronts(work)
+    for wave in plan.levels:
+        if wave.jobs:
+            stats.wavefront_widths.append(len(wave.jobs))
     cache: Optional[EmissionCache] = None
     if config.cache != "off":
         cache = EmissionCache(config.cache_dir, max_entries=config.cache_max_entries)
     readable = config.cache in ("read", "readwrite")
     writable = config.cache == "readwrite"
+
+    # Degenerate deployment: the pool is clamped to one worker (fewer
+    # CPUs than jobs) and no cache is in play.  The DAG-export / job /
+    # record-replay indirection exists to cross a process or cache
+    # boundary; with neither boundary it is ~15% pure overhead, so run
+    # the contractually-identical serial loop instead (wavefront
+    # telemetry above is kept — the plan is the same either way).
+    if cache is None and min(config.effective_jobs, os.cpu_count() or 1) == 1:
+        from repro.core.ddbdd import _serial_supernodes
+
+        with stats.stage("dp"):
+            results = _serial_supernodes(
+                work, mapped, config, verifier, resolve, external
+            )
+        stats.supernodes += len(results)
+        return results
 
     # Phase A: per-signal (negated, depth) without touching `mapped`.
     vres: Dict[str, Tuple[bool, int]] = {pi: (False, 0) for pi in work.pis}
@@ -165,8 +190,6 @@ def run_wavefronts(
 
     with JobRunner(config.effective_jobs) as runner:
         for wave in plan.levels:
-            if wave.jobs:
-                stats.wavefront_widths.append(len(wave.jobs))
             pending: List[Tuple[str, SupernodeJob, Optional[str]]] = []
             for name in wave.jobs:
                 node = work.nodes[name]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import sys
 from contextlib import contextmanager
-from typing import Dict, Generic, Iterator, Optional, TypeVar
+from typing import Dict, Generic, Iterator, TypeVar
 
 
 @contextmanager
@@ -49,37 +49,33 @@ V = TypeVar("V")
 DEFAULT_MEMO_CAP = 1 << 18
 
 
-class BoundedMemo(Generic[K, V]):
+class BoundedMemo(Dict[K, V], Generic[K, V]):
     """A memo table with a hard entry cap (FIFO eviction).
 
     Drop-in for the ``cache.get(...)`` / ``cache[key] = value`` pattern
     used by the recursive DAG walks in this repo.  When the cap is
     reached the oldest inserted entry is evicted; for a memoized pure
     function that only costs recomputation, never correctness.
+
+    Subclasses ``dict`` so the read path (``get``, ``in``, ``[]``) is
+    the interpreter's C implementation — the memo sits on the kernel
+    hot path (BDD operator caches, DAG-walk memos) where a Python-level
+    ``get`` wrapper is measurable.  Only insertion goes through Python
+    to enforce the cap.
     """
 
-    __slots__ = ("_data", "_cap")
+    __slots__ = ("_cap",)
 
     def __init__(self, cap: int = DEFAULT_MEMO_CAP) -> None:
         if cap < 1:
             raise ValueError("memo cap must be at least 1")
-        self._data: Dict[K, V] = {}
+        super().__init__()
         self._cap = cap
 
-    def get(self, key: K) -> Optional[V]:
-        return self._data.get(key)
-
     def __setitem__(self, key: K, value: V) -> None:
-        data = self._data
-        if key not in data and len(data) >= self._cap:
-            data.pop(next(iter(data)))
-        data[key] = value
-
-    def __contains__(self, key: K) -> bool:
-        return key in self._data
-
-    def __len__(self) -> int:
-        return len(self._data)
+        if len(self) >= self._cap and key not in self:
+            del self[next(iter(self))]
+        super().__setitem__(key, value)
 
     @property
     def cap(self) -> int:

@@ -59,14 +59,14 @@ def test_dd203_unreduced_node_mutant():
 
 def test_dd204_unique_table_mutant():
     mgr, f = _mgr_and()
-    key = mgr.node(f)
+    key = mgr._ukey(*mgr.node(f))
     mgr._unique[key] = mgr.hi(f)  # wrong id for the triple
     assert has_code(check_bdd_manager(mgr, roots=[f]), "DD204")
 
 
 def test_dd204_live_node_missing_from_unique_table():
     mgr, f = _mgr_and()
-    del mgr._unique[mgr.node(f)]
+    del mgr._unique[mgr._ukey(*mgr.node(f))]
     assert has_code(check_bdd_manager(mgr, roots=[f]), "DD204")
     # Whole-store audits tolerate it (dead nodes after sifting).
     assert not has_code(check_bdd_manager(mgr), "DD204")
@@ -74,7 +74,7 @@ def test_dd204_live_node_missing_from_unique_table():
 
 def test_dd205_compute_cache_mutant():
     mgr, f = _mgr_and()
-    mgr._ite_cache[(f, 1, 0)] = mgr.num_nodes + 5
+    mgr._ite_cache[mgr._ukey(f, 1, 0)] = mgr.num_nodes + 5
     assert has_code(check_bdd_manager(mgr), "DD205")
     mgr.clear_caches()
     g = mgr.negate(f)

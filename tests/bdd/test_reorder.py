@@ -95,7 +95,7 @@ class TestSiftInplace:
         m = BDDManager(6)
         f = interleaved_function(m)
         table = eval_all(m, f, 6)
-        size = sift_inplace(m, f, num_support=6)
+        size = sift_inplace(m, f, num_support=6, audit=True)
         assert size <= 16
         assert eval_all(m, f, 6) == table
 

@@ -3,7 +3,13 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.binpack import Box, PackedBin, first_fit_decreasing, pack_or_gates
+from repro.core.binpack import (
+    Box,
+    PackedBin,
+    first_fit_decreasing,
+    pack_or_cost,
+    pack_or_gates,
+)
 
 
 class TestPaperExample:
@@ -94,3 +100,27 @@ def test_property_pack_invariants(depths, k):
         assert b.used <= k
     # The out bin is the last created.
     assert created[-1] is out_bin
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    gates=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(1, 2)), min_size=1, max_size=16
+    ),
+    k=st.integers(2, 6),
+)
+def test_property_pack_cost_matches_real_packer(gates, k):
+    """The DP's counting-only cost probe must agree with the real
+    packer bin-for-bin — a drift would silently change DP decisions."""
+    boxes = [Box(d, s, i) for i, (d, s) in enumerate(gates)]
+    depth, _out, created = pack_or_gates(boxes, k)
+    groups = {}
+    for d, s in gates:
+        counts = groups.setdefault(d, [0, 0])
+        counts[0 if s == 2 else 1] += 1
+    assert pack_or_cost(groups, k) == (depth, len(created))
+
+
+def test_pack_cost_rejects_empty():
+    with pytest.raises(ValueError):
+        pack_or_cost({}, k=5)

@@ -177,9 +177,9 @@ class TestHardenedCheck:
         with pytest.raises(NetworkError, match="swept-away"):
             net.check()
 
-    def test_sweep_runs_debug_check(self):
-        # sweep() audits the network in debug mode; a healthy network
-        # must come through unchanged and checked.
+    def test_sweep_leaves_network_checkable(self):
+        # A healthy network must come through sweep unchanged and
+        # still pass the structural audit.
         from repro.network.transform import sweep
 
         net = small_net()

@@ -15,8 +15,8 @@ from repro.runtime.emission import (
     replay_record,
     verify_record,
 )
-from repro.runtime.pool import JobRunner, SupernodeJob, run_supernode_job
-from repro.runtime.signature import export_dag
+from repro.runtime.pool import JobRunner, SupernodeJob, chunk_jobs, run_supernode_job
+from repro.runtime.signature import dag_size, export_dag
 
 
 def _job(polarities=(False, False, False), arrivals=(0, 0, 0)) -> SupernodeJob:
@@ -122,6 +122,22 @@ def test_job_runner_pool_matches_inline():
     assert serial == inline
     with pytest.raises(ValueError):
         JobRunner(0)
+
+
+def test_chunk_jobs_partitions_and_balances():
+    jobs = [_job(arrivals=(i, 0, 0)) for i in range(7)]
+    groups = chunk_jobs(jobs, 3)
+    # A partition: every index exactly once, no empty chunks.
+    assert sorted(i for g in groups for i in g) == list(range(7))
+    assert all(g for g in groups)
+    assert len(groups) <= 3
+    # Deterministic.
+    assert chunk_jobs(jobs, 3) == groups
+    # Never more chunks than jobs.
+    assert len(chunk_jobs(jobs[:2], 5)) <= 2
+    # LPT balance: identical-size jobs spread evenly over workers.
+    sizes = [sum(dag_size(jobs[i].dag) for i in g) for g in groups]
+    assert max(sizes) <= 3 * min(sizes)
 
 
 def test_signature_distinguishes_profiles():
