@@ -24,9 +24,18 @@ checkable:
 ``RL004``
     Public functions and public methods of public classes must be fully
     annotated (every parameter and the return type).
+``RL005``
+    No imports of ``repro.flow.passes`` internals from outside
+    ``repro/flow/``: pass classes are registered on import of
+    :mod:`repro.flow` and must be reached through the registry
+    (``create_pass``/``build_pipeline``), never by module path.  The
+    check covers ``import repro.flow.passes...``,
+    ``from repro.flow.passes... import ...`` and
+    ``from repro.flow import passes`` — anywhere in the file,
+    including lazy imports inside functions.
 
 Suppress a finding with a ``# repolint: disable=RL00x`` comment on the
-offending line (the ``def``/``except`` line).
+offending line (the ``def``/``except``/``import`` line).
 """
 
 from __future__ import annotations
@@ -43,12 +52,14 @@ RULES = {
     "RL002": "bare except",
     "RL003": "truth-table parameter without documented arity",
     "RL004": "public function not fully annotated",
+    "RL005": "import of repro.flow.passes internals outside repro.flow",
 }
 
 _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
 _TT_PARAM_NAMES = {"bits", "tt", "truth", "truth_table", "truth_bits"}
 _TT_DOC_TOKENS = ("2**", "2 **", "arity", "variable")
 _DISABLE_MARK = "repolint: disable="
+_FLOW_PASSES = "repro.flow.passes"
 
 
 @dataclass(frozen=True)
@@ -78,6 +89,8 @@ def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
     suppressed = _suppressed_lines(source)
     findings: List[LintFinding] = []
     _walk(tree, path, findings, class_public=True, depth=0)
+    if not _flow_exempt(path):
+        _check_flow_imports(tree, path, findings)
     return [
         f
         for f in findings
@@ -197,6 +210,39 @@ def _check_function(
                 f"{RULES['RL004']} (function {fn.name!r}: {'; '.join(problems)})",
             )
         )
+
+
+def _flow_exempt(path: str) -> bool:
+    """Whether ``path`` lies inside ``repro/flow/`` (the only place the
+    pass modules may be imported by module path)."""
+    return "repro/flow/" in path.replace("\\", "/")
+
+
+def _check_flow_imports(
+    tree: ast.AST, path: str, findings: List[LintFinding]
+) -> None:
+    """RL005 — scan the whole tree (lazy in-function imports included)
+    for any spelling that binds a ``repro.flow.passes`` module."""
+    hint = f"{RULES['RL005']} (use the repro.flow registry: build_pipeline/create_pass)"
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            hit = any(
+                a.name == _FLOW_PASSES or a.name.startswith(_FLOW_PASSES + ".")
+                for a in node.names
+            )
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            hit = (
+                mod == _FLOW_PASSES
+                or mod.startswith(_FLOW_PASSES + ".")
+                or (mod == "repro.flow" and any(a.name == "passes" for a in node.names))
+            )
+        else:
+            continue
+        if hit:
+            findings.append(
+                LintFinding(path, node.lineno, node.col_offset, "RL005", hint)
+            )
 
 
 def _is_mutable_literal(node: ast.AST) -> bool:

@@ -57,18 +57,23 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         verify_level=args.verify_level,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        flow=args.passes,
         **kwargs,
     )
     def run():
         if args.flow == "ddbdd":
-            return ddbdd_synthesize(net, config)
+            # Construct and run the pass pipeline (repro.flow); the
+            # config's flow script selects the passes.
+            from repro.flow import run_flow
+
+            return run_flow(net, config)
         if args.flow == "bdspga":
             return bdspga_synthesize(net)
         if args.flow == "sis-daomap":
             return sis_daomap_flow(net, k=args.k)
         return abc_flow(net, k=args.k)
 
-    if args.profile is not None:
+    if args.profile is not None or args.profile_out:
         import cProfile
         import pstats
 
@@ -76,20 +81,30 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         profiler.enable()
         result = run()
         profiler.disable()
-        for sort in ("cumulative", "tottime"):
-            print(f"--- profile: top {args.profile} by {sort} ---")
-            pstats.Stats(profiler, stream=sys.stdout).sort_stats(sort).print_stats(
-                args.profile
-            )
+        if args.profile is not None:
+            for sort in ("cumulative", "tottime"):
+                print(f"--- profile: top {args.profile} by {sort} ---")
+                pstats.Stats(profiler, stream=sys.stdout).sort_stats(sort).print_stats(
+                    args.profile
+                )
+        if args.profile_out:
+            # Raw pstats dump for offline inspection (snakeviz, pstats
+            # browse, gprof2dot, ...).
+            profiler.dump_stats(args.profile_out)
+            print(f"wrote profile to {args.profile_out}")
     else:
         result = run()
     print(f"{args.flow}: depth={result.depth} area={result.area} LUTs (K={args.k})")
+    stats = getattr(result, "runtime_stats", None)
     if args.stats:
-        stats = getattr(result, "runtime_stats", None)
         if stats is not None:
             print(stats.render())
         else:
             print(f"runtime: no stage telemetry for the {args.flow} flow")
+    if args.stats_json:
+        import json
+
+        print(json.dumps(stats.as_dict() if stats is not None else {}, sort_keys=True))
     if args.verify:
         eq = check_equivalence(net, result.network)
         print(f"equivalence: {'PASS' if eq.equivalent else 'FAIL'} ({eq.method})")
@@ -178,7 +193,21 @@ def main(argv: Optional[list] = None) -> int:
         help="cache directory (default: .ddbdd_cache)",
     )
     p.add_argument(
-        "--stats", action="store_true", help="print runtime telemetry after synthesis"
+        "--stats",
+        action="store_true",
+        help="print runtime telemetry (incl. the per-pass table) after synthesis",
+    )
+    p.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="print the runtime telemetry as one JSON object",
+    )
+    p.add_argument(
+        "--passes",
+        metavar="SPEC",
+        default=None,
+        help='flow script overriding the standard pass pipeline, e.g. '
+        '"sweep;collapse;synth(jobs=4);map" (ddbdd flow only)',
     )
     p.add_argument(
         "--profile",
@@ -189,6 +218,13 @@ def main(argv: Optional[list] = None) -> int:
         metavar="N",
         help="run the flow under cProfile and print the top N entries "
         "by cumulative and total time (default N=25)",
+    )
+    p.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="dump the raw cProfile pstats to FILE for offline inspection "
+        "(implies profiling; combine with --profile to also print top-N)",
     )
     p.add_argument("-o", "--output", help="write mapped BLIF here")
     p.set_defaults(func=_cmd_synth)
@@ -219,6 +255,18 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("circuit", help="BLIF path or named benchmark")
     p.add_argument(
         "--bdd", action="store_true", help="also audit the circuit's BDD manager"
+    )
+    p.add_argument(
+        "--synth",
+        action="store_true",
+        help="additionally run the synthesis pass pipeline at verify_level=2 "
+        "and report every verified pass boundary",
+    )
+    p.add_argument(
+        "--passes",
+        metavar="SPEC",
+        default=None,
+        help="flow script for --synth (default: the standard pipeline)",
     )
     p.set_defaults(func=_cmd_check)
 
@@ -260,7 +308,35 @@ def _cmd_check(args: argparse.Namespace) -> int:
     errors = errors_of(diags)
     warnings = len(diags) - len(errors)
     print(f"check: {len(errors)} error(s), {warnings} warning(s)")
-    return 1 if errors else 0
+    if errors:
+        return 1
+    if args.synth:
+        # Drive the pass pipeline under full stage-boundary checking:
+        # every pass boundary becomes a verified boundary.
+        from repro.analysis.diagnostics import VerificationError
+        from repro.flow import FlowState, build_pipeline, default_flow
+
+        config = DDBDDConfig(verify_level=2, flow=args.passes)
+        state = FlowState.initial(net, config)
+        pipeline = build_pipeline(config.flow or default_flow(config))
+        try:
+            pipeline.run(state)
+        except VerificationError as exc:
+            for d in exc.diagnostics:
+                print(d.describe())
+            print(f"check: pipeline FAILED at stage {exc.stage!r}")
+            return 1
+        for telemetry in state.stats.passes:
+            print(
+                f"pass {telemetry.name:<10s} ok "
+                f"({telemetry.seconds:.3f}s + {telemetry.verify_seconds:.3f}s verify)"
+            )
+        print(
+            f"check: pipeline {pipeline.describe()!r} verified "
+            f"{len(state.verifier.stages_run)} stage boundary(ies), "
+            f"{len(state.verifier.warnings)} warning(s)"
+        )
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

@@ -10,18 +10,32 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 def _default_jobs() -> int:
     """Worker count default: the ``DDBDD_JOBS`` environment variable
-    when set (useful for CI sweeps), else 1 (serial)."""
+    when set (useful for CI sweeps), else 1 (serial).
+
+    A malformed value raises :class:`ValueError` naming the variable
+    immediately — silently falling back to 1 (the old behaviour) hid
+    typos, and letting the raw string reach pool setup surfaced as an
+    opaque ``int()`` traceback.
+    """
     raw = os.environ.get("DDBDD_JOBS", "").strip()
-    if raw:
-        try:
-            return int(raw)
-        except ValueError:
-            pass
-    return 1
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"DDBDD_JOBS must be an integer >= 0 (0 means all CPUs), got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise ValueError(
+            f"DDBDD_JOBS must be an integer >= 0 (0 means all CPUs), got {raw!r}"
+        )
+    return jobs
 
 
 @dataclass
@@ -112,6 +126,15 @@ class DDBDDConfig:
         Root directory of the on-disk cache.
     cache_max_entries:
         LRU size cap of the cache (entries, not bytes).
+    flow:
+        Optional flow-script override for the pass pipeline (see
+        :mod:`repro.flow`), e.g. ``"sweep;collapse;synth(jobs=4);map"``.
+        ``None`` (default) selects the standard flow for this config:
+        ``"sweep;collapse;synth;map"``, with the collapse pass dropped
+        when ``collapse`` is false.  Pass names/options are resolved
+        against the registry when the pipeline is built; syntax or
+        registry errors raise
+        :class:`repro.flow.FlowScriptError` at that point.
     """
 
     k: int = 5
@@ -134,6 +157,7 @@ class DDBDDConfig:
     cache: str = "off"
     cache_dir: str = ".ddbdd_cache"
     cache_max_entries: int = 8192
+    flow: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -150,6 +174,10 @@ class DDBDDConfig:
             raise ValueError(f"cache must be off, read or readwrite, got {self.cache!r}")
         if self.cache_max_entries < 1:
             raise ValueError("cache_max_entries must be positive")
+        if self.flow is not None and (
+            not isinstance(self.flow, str) or not self.flow.strip()
+        ):
+            raise ValueError("flow must be None or a non-empty flow-script string")
 
     @property
     def verify_emission(self) -> bool:

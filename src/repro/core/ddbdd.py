@@ -12,21 +12,27 @@
 The result is a K-feasible LUT network: its unit-delay depth is the
 paper's "mapping depth" and its node count the paper's "area" (number
 of LUTs).
+
+Since the :mod:`repro.flow` refactor the stage *sequence* lives there
+as a pass pipeline (``sweep;collapse;synth;map``);
+:func:`ddbdd_synthesize` is a thin wrapper that builds and runs the
+pipeline for its config.  This module keeps the flow's result type and
+the reference serial supernode engine
+(:func:`serial_supernodes` — Algorithm 1 step 3), which the ``synth``
+pass and the wavefront engine's degenerate fallback both execute.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.hooks import StageVerifier
-from repro.core.collapse import CollapseStats, partial_collapse
+from repro.core.collapse import CollapseStats
 from repro.core.config import DDBDDConfig
 from repro.core.dp import BDDSynthesizer, SupernodeResult
-from repro.network.depth import network_depth, topological_order
+from repro.network.depth import topological_order
 from repro.network.netlist import BooleanNetwork
-from repro.network.transform import sweep
 from repro.runtime.stats import RuntimeStats
 
 
@@ -54,62 +60,19 @@ class SynthesisResult:
 def ddbdd_synthesize(
     net: BooleanNetwork, config: Optional[DDBDDConfig] = None
 ) -> SynthesisResult:
-    """Synthesize ``net`` into a K-LUT network optimized for depth."""
-    config = config or DDBDDConfig()
-    start = time.perf_counter()
-    verifier = StageVerifier(config.verify_level, config.k)
-    stats = RuntimeStats(jobs=config.effective_jobs, cache_mode=config.cache)
+    """Synthesize ``net`` into a K-LUT network optimized for depth.
 
-    work = net.copy(net.name + "_work")
-    with stats.stage("sweep"):
-        sweep(work)
-    verifier.after_sweep(work)
-    collapse_stats: Optional[CollapseStats] = None
-    if config.collapse:
-        with stats.stage("collapse"):
-            collapse_stats = partial_collapse(work, config)
-        verifier.after_collapse(work)
+    Thin wrapper over :func:`repro.flow.run_flow`: builds the pass
+    pipeline for ``config`` (``config.flow`` overrides the standard
+    ``sweep;collapse;synth;map`` script) and runs it.  Output is
+    bit-identical to the historical hard-coded stage sequence.
+    """
+    from repro.flow import run_flow  # deferred: repro.flow imports this module
 
-    mapped = BooleanNetwork(net.name + "_ddbdd")
-    for pi in net.pis:
-        mapped.add_pi(pi)
-
-    # resolve: supernode/PI signal -> (signal in `mapped`, negated, depth).
-    resolve: Dict[str, Tuple[str, bool, int]] = {pi: (pi, False, 0) for pi in work.pis}
-    # Signals visible outside their own supernode emission; a root LUT
-    # may only absorb a complement when it is NOT one of these (flipping
-    # a shared LUT would corrupt its other consumers).
-    external: set = set(work.pis)
-    supernode_results: List[SupernodeResult] = []
-
-    # The wavefront/cache engine (repro.runtime) is contractually
-    # output-identical to the serial loop below; jobs=1 with the cache
-    # off keeps the reference path.
-    if config.effective_jobs != 1 or config.cache != "off":
-        from repro.runtime.schedule import run_wavefronts
-
-        with stats.stage("supernodes"):
-            supernode_results = run_wavefronts(
-                work, mapped, config, verifier, resolve, external, stats
-            )
-        return _finish(
-            net, work, mapped, config, verifier, resolve,
-            collapse_stats, supernode_results, start, stats,
-        )
-
-    with stats.stage("supernodes"):
-        serial_results = _serial_supernodes(
-            work, mapped, config, verifier, resolve, external
-        )
-    supernode_results = serial_results
-    stats.supernodes = len(supernode_results)
-    return _finish(
-        net, work, mapped, config, verifier, resolve,
-        collapse_stats, supernode_results, start, stats,
-    )
+    return run_flow(net, config)
 
 
-def _serial_supernodes(
+def serial_supernodes(
     work: BooleanNetwork,
     mapped: BooleanNetwork,
     config: DDBDDConfig,
@@ -117,7 +80,13 @@ def _serial_supernodes(
     resolve: Dict[str, Tuple[str, bool, int]],
     external: set,
 ) -> List[SupernodeResult]:
-    """The reference serial supernode loop (Algorithm 1, step 3)."""
+    """The reference serial supernode loop (Algorithm 1, step 3).
+
+    Visits ``work`` in topological order, runs the Algorithm 3 DP per
+    real supernode and emits its cells into ``mapped``; ``resolve`` /
+    ``external`` are updated in place exactly as the wavefront engine
+    would (the determinism contract's ground truth).
+    """
     supernode_results: List[SupernodeResult] = []
     for name in topological_order(work):
         node = work.nodes[name]
@@ -154,78 +123,6 @@ def _serial_supernodes(
         supernode_results.append(result)
         verifier.after_supernode(mapped, name, mgr=synth.mgr, func=synth.func)
     return supernode_results
-
-
-def _finish(
-    net: BooleanNetwork,
-    work: BooleanNetwork,
-    mapped: BooleanNetwork,
-    config: DDBDDConfig,
-    verifier: StageVerifier,
-    resolve: Dict[str, Tuple[str, bool, int]],
-    collapse_stats: Optional[CollapseStats],
-    supernode_results: List[SupernodeResult],
-    start: float,
-    stats: RuntimeStats,
-) -> SynthesisResult:
-    """PO binding, invariant checks and post-processing (Algorithm 1,
-    step 4 onward) — shared by the serial and wavefront engines."""
-    po_depths: Dict[str, int] = {}
-    for po, driver in work.pos.items():
-        sig, neg, depth = resolve[driver]
-        if neg:
-            inv = mapped.fresh_name(f"{po}_inv")
-            mapped.add_node_function(
-                inv, [sig], mapped.mgr.negate(mapped.mgr.var(mapped.var_of(sig)))
-            )
-            sig, depth = inv, depth + 1
-        mapped.add_po(po, sig)
-        po_depths[po] = depth
-
-    mapped.check()
-    verifier.after_po_binding(mapped)
-    depth = max(po_depths.values(), default=0)
-    assert depth == network_depth(mapped), "structural depth disagrees with DP depths"
-    if mapped.max_fanin() > config.k:
-        raise AssertionError("emitted a LUT wider than K")
-
-    # Cross-supernode cleanup: identical LUTs created by different
-    # supernode emissions merge into one (pure area recovery; depth can
-    # only improve), then the gates are covered by K-LUT cells (the
-    # paper's "map all the gates to cells implementable by K-LUTs").
-    from repro.core.lutpack import lut_pack
-    from repro.mapping.netcover import cover_network
-    from repro.network.transform import merge_duplicates
-
-    with stats.stage("postprocess"):
-        merge_duplicates(mapped)
-        if config.final_packing:
-            # Depth-optimal re-covering of the emitted gates by K-LUT
-            # cells, then residual single-fanout merges.
-            mapped = cover_network(mapped, config.k)
-            merge_duplicates(mapped)
-            lut_pack(mapped, config.k)
-        if config.area_recovery:
-            from repro.core.area import area_recovery
-
-            area_recovery(mapped, config.k)
-    from repro.network.depth import output_depths
-
-    po_depths = output_depths(mapped)
-    depth = max(po_depths.values(), default=0)
-    verifier.final(mapped, depth, po_depths, len(mapped.nodes), source=net)
-
-    return SynthesisResult(
-        network=mapped,
-        depth=depth,
-        area=len(mapped.nodes),
-        po_depths=po_depths,
-        collapse_stats=collapse_stats,
-        supernodes=supernode_results,
-        runtime_s=time.perf_counter() - start,
-        config=config,
-        runtime_stats=stats,
-    )
 
 
 def _as_literal(net: BooleanNetwork, node) -> Optional[Tuple[str, bool]]:

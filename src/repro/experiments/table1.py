@@ -12,23 +12,29 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.benchgen import TABLE1_SUITE, build_circuit
-from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.core import DDBDDConfig
 from repro.experiments.report import TableResult
+from repro.flow import run_flow
 
 
 def run_table1(
     circuits: Optional[Sequence[str]] = None,
     config: Optional[DDBDDConfig] = None,
 ) -> TableResult:
-    """Regenerate Table I (depth with vs without Algorithm 2)."""
+    """Regenerate Table I (depth with vs without Algorithm 2).
+
+    Both rows run the same :mod:`repro.flow` pipeline; the
+    ``collapse=False`` row simply selects the flow script without the
+    ``collapse`` pass.
+    """
     config = config or DDBDDConfig()
     names = list(circuits or TABLE1_SUITE)
     rows = []
     wins = ties = losses = 0
     for name in names:
         net = build_circuit(name)
-        with_c = ddbdd_synthesize(net, replace(config, collapse=True))
-        without_c = ddbdd_synthesize(net, replace(config, collapse=False))
+        with_c = run_flow(net, replace(config, collapse=True))
+        without_c = run_flow(net, replace(config, collapse=False))
         rows.append([name, with_c.depth, without_c.depth, with_c.area, without_c.area])
         if with_c.depth < without_c.depth:
             wins += 1

@@ -17,10 +17,9 @@ from typing import List, Optional, Sequence, Tuple
 from repro.baselines.bdspga import BDSPgaConfig, decompose_bdd_bds
 from repro.benchgen import TABLE3_SUITE, build_circuit
 from repro.core import DDBDDConfig
-from repro.core.collapse import partial_collapse
 from repro.core.dp import BDDSynthesizer
 from repro.experiments.report import TableResult
-from repro.network.transform import sweep
+from repro.flow import FlowState, build_pipeline
 
 
 def collect_large_nodes(
@@ -29,13 +28,18 @@ def collect_large_nodes(
     min_bdd_size: int = 50,
 ) -> List[Tuple[str, object, int]]:
     """(circuit, manager, function) for every collapsed node with a
-    BDD above ``min_bdd_size`` nodes."""
+    BDD above ``min_bdd_size`` nodes.
+
+    Runs the front half of the standard flow (``sweep;collapse``) as a
+    :mod:`repro.flow` pipeline and harvests the collapsed working
+    network.
+    """
+    front = build_pipeline("sweep;collapse")
     out = []
     for name in circuits:
         net = build_circuit(name)
-        work = net.copy()
-        sweep(work)
-        partial_collapse(work, config)
+        state = front.run(FlowState.initial(net, config))
+        work = state.work
         for node in work.nodes.values():
             if work.mgr.count_nodes(node.func) > min_bdd_size:
                 out.append((name, work.mgr, node.func))

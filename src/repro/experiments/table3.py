@@ -12,8 +12,9 @@ from typing import Optional, Sequence
 
 from repro.baselines import abc_flow, bdspga_synthesize, sis_daomap_flow
 from repro.benchgen import TABLE3_SUITE, build_circuit
-from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.core import DDBDDConfig
 from repro.experiments.report import TableResult, geomean_ratio
+from repro.flow import run_flow
 from repro.network.equivalence import check_equivalence
 
 
@@ -31,7 +32,7 @@ def run_table3(
     area = {"dd": [], "bds": [], "sis": [], "abc": []}
     for name in names:
         net = build_circuit(name)
-        dd = ddbdd_synthesize(net, config)
+        dd = run_flow(net, config)
         bds = bdspga_synthesize(net)
         sis = sis_daomap_flow(net, k=config.k)
         abc = abc_flow(net, k=config.k)

@@ -21,8 +21,9 @@ from typing import Optional, Sequence
 
 from repro.baselines import bdspga_synthesize, sis_daomap_flow
 from repro.benchgen import TABLE4_SUITE, build_circuit
-from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.core import DDBDDConfig
 from repro.experiments.report import TableResult, geomean_ratio
+from repro.flow import run_flow
 from repro.vpr import Architecture, vpr_flow
 
 
@@ -45,7 +46,7 @@ def run_table4(
     for name in names:
         net = build_circuit(name)
         t0 = time.perf_counter()
-        dd = ddbdd_synthesize(net, config)
+        dd = run_flow(net, config)
         dd_time = time.perf_counter() - t0
         t0 = time.perf_counter()
         bds = bdspga_synthesize(net)

@@ -9,10 +9,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.baselines import abc_flow, bdspga_synthesize, sis_daomap_flow
-from repro.benchgen import TABLE5_SUITE, build_circuit
-from repro.core import DDBDDConfig, ddbdd_synthesize
-from repro.experiments.report import TableResult, geomean_ratio
+from repro.benchgen import TABLE5_SUITE
+from repro.core import DDBDDConfig
+from repro.experiments.report import TableResult
 from repro.experiments.table3 import run_table3
 
 

@@ -1,0 +1,125 @@
+"""repro.flow: the DDBDD synthesis flow as a composable pass pipeline.
+
+The flow used to be one hard-coded function
+(``repro.core.ddbdd.ddbdd_synthesize``) that the CLI, the parallel
+runtime and every experiment table re-entered in slightly different
+ways.  It is now a pipeline of registered passes over one shared
+:class:`~repro.flow.state.FlowState`:
+
+    ``sweep ; collapse ; synth ; map``
+
+* :class:`~repro.flow.pipeline.Pipeline` runs any pass sequence with
+  requires/provides enforcement, StageVerifier hooks at every pass
+  boundary and per-pass telemetry
+  (:class:`~repro.runtime.stats.PassTelemetry`).
+* :mod:`repro.flow.registry` maps names to passes and parses flow
+  scripts (``"sweep;collapse;synth(jobs=4);map"``); scripts ride on
+  :attr:`repro.core.config.DDBDDConfig.flow`.
+* :mod:`repro.flow.passes` holds the standard stage implementations;
+  reach them via the registry — repolint rule RL005 forbids importing
+  their internals from outside ``repro.flow``.
+* :func:`run_flow` is the one flow entrypoint: build the pipeline for a
+  config, run it, wrap the state into a
+  :class:`~repro.core.ddbdd.SynthesisResult`.
+  ``ddbdd_synthesize`` is now a thin alias for it.
+
+Example — the standard flow with a wavefront synth override::
+
+    from repro.flow import run_flow
+    from repro.core.config import DDBDDConfig
+
+    result = run_flow(net, DDBDDConfig(flow="sweep;collapse;synth(jobs=4);map"))
+
+Example — a partial pipeline (experiments that only need the collapsed
+network)::
+
+    from repro.flow import FlowState, build_pipeline
+
+    state = FlowState.initial(net, config)
+    build_pipeline("sweep;collapse").run(state)
+    supernodes = state.work
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.config import DDBDDConfig
+from repro.network.netlist import BooleanNetwork
+from repro.flow.pipeline import BasePass, FlowError, Pipeline
+from repro.flow.registry import (
+    FlowScriptError,
+    available_passes,
+    build_pipeline,
+    create_pass,
+    default_flow,
+    parse_flow,
+    register_pass,
+)
+from repro.flow.state import FlowState
+from repro.flow import passes as _passes  # registers the standard passes
+
+del _passes
+
+if TYPE_CHECKING:  # import cycle: repro.core.ddbdd reaches repro.flow lazily
+    from repro.core.ddbdd import SynthesisResult
+
+
+def run_flow(
+    net: BooleanNetwork,
+    config: Optional[DDBDDConfig] = None,
+    script: Optional[str] = None,
+) -> "SynthesisResult":
+    """Run a flow pipeline over ``net`` and return a
+    :class:`~repro.core.ddbdd.SynthesisResult`.
+
+    The pipeline is built from, in priority order: the explicit
+    ``script`` argument, ``config.flow``, or the standard flow for the
+    config (:func:`~repro.flow.registry.default_flow`).  The script
+    must end in a finishing pass (``map``): a pipeline that leaves the
+    state unfinished raises :class:`FlowError` — use
+    :class:`Pipeline` / :class:`FlowState` directly for partial flows.
+    """
+    # Deferred import: repro.core.ddbdd reaches repro.flow lazily, so
+    # importing its result type eagerly here would close a cycle.
+    from repro.core.ddbdd import SynthesisResult
+
+    config = config or DDBDDConfig()
+    start = time.perf_counter()
+    state = FlowState.initial(net, config)
+    pipeline = build_pipeline(script or config.flow or default_flow(config))
+    pipeline.run(state)
+    if not state.finished:
+        raise FlowError(
+            f"flow {pipeline.describe()!r} did not finish the result "
+            "(no 'map' pass ran); use Pipeline/FlowState directly for "
+            "partial flows"
+        )
+    return SynthesisResult(
+        network=state.mapped,
+        depth=state.depth,
+        area=len(state.mapped.nodes),
+        po_depths=state.po_depths,
+        collapse_stats=state.collapse_stats,
+        supernodes=state.supernode_results,
+        runtime_s=time.perf_counter() - start,
+        config=config,
+        runtime_stats=state.stats,
+    )
+
+
+__all__ = [
+    "BasePass",
+    "FlowError",
+    "FlowScriptError",
+    "FlowState",
+    "Pipeline",
+    "available_passes",
+    "build_pipeline",
+    "create_pass",
+    "default_flow",
+    "parse_flow",
+    "register_pass",
+    "run_flow",
+]

@@ -1,0 +1,32 @@
+"""The ``collapse`` pass: Algorithm 2 (gain-based partial collapsing).
+
+Merges mergable node pairs of the working network into supernodes
+bounded by BDD size/support, recording
+:class:`~repro.core.collapse.CollapseStats` on the state.  The default
+flow script includes this pass only when ``DDBDDConfig.collapse`` is
+set (the paper's "without collapsing" ablation simply omits it); a pass
+explicitly named in a custom flow script always runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.collapse import partial_collapse
+from repro.flow.pipeline import BasePass
+from repro.flow.registry import register_pass
+from repro.flow.state import FlowState
+
+
+@register_pass("collapse")
+class CollapsePass(BasePass):
+    """Cluster the working network into supernodes (Algorithm 2)."""
+
+    requires = ("work",)
+    provides = ("work", "collapse_stats")
+
+    def run(self, state: FlowState) -> FlowState:
+        with state.stats.stage("collapse"):
+            state.collapse_stats = partial_collapse(state.work, state.config)
+        return state
+
+    def verify(self, state: FlowState) -> None:
+        state.verifier.after_collapse(state.work)

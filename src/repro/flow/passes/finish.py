@@ -1,0 +1,79 @@
+"""The ``map`` pass: Algorithm 1 step 4 onward.
+
+Binds primary outputs (inserting an inverter LUT only when a PO needs
+the complement of a shared signal), then runs the cross-supernode
+post-processing: duplicate-LUT merging, depth-optimal K-LUT
+re-covering/packing (the paper's "map all the gates to cells
+implementable by K-LUTs") and optional area recovery.  Populates the
+final ``po_depths`` / ``depth`` on the state and marks it finished.
+"""
+
+from __future__ import annotations
+
+from repro.flow.pipeline import BasePass
+from repro.flow.registry import register_pass
+from repro.flow.state import FlowState
+from repro.network.depth import network_depth, output_depths
+
+
+@register_pass("map")
+class MapPass(BasePass):
+    """PO binding, K-LUT covering/packing and the final audits."""
+
+    requires = ("work", "mapped")
+    provides = ("po_depths", "finished")
+
+    def run(self, state: FlowState) -> FlowState:
+        work, mapped, config = state.work, state.mapped, state.config
+        po_depths = state.po_depths
+        for po, driver in work.pos.items():
+            sig, neg, depth = state.resolve[driver]
+            if neg:
+                inv = mapped.fresh_name(f"{po}_inv")
+                mapped.add_node_function(
+                    inv, [sig], mapped.mgr.negate(mapped.mgr.var(mapped.var_of(sig)))
+                )
+                sig, depth = inv, depth + 1
+            mapped.add_po(po, sig)
+            po_depths[po] = depth
+
+        mapped.check()
+        state.verifier.after_po_binding(mapped)
+        depth = max(po_depths.values(), default=0)
+        assert depth == network_depth(mapped), "structural depth disagrees with DP depths"
+        if mapped.max_fanin() > config.k:
+            raise AssertionError("emitted a LUT wider than K")
+
+        # Cross-supernode cleanup: identical LUTs created by different
+        # supernode emissions merge into one (pure area recovery; depth
+        # can only improve), then the gates are covered by K-LUT cells.
+        from repro.core.lutpack import lut_pack
+        from repro.mapping.netcover import cover_network
+        from repro.network.transform import merge_duplicates
+
+        with state.stats.stage("postprocess"):
+            merge_duplicates(mapped)
+            if config.final_packing:
+                # Depth-optimal re-covering of the emitted gates by
+                # K-LUT cells, then residual single-fanout merges.
+                mapped = cover_network(mapped, config.k)
+                merge_duplicates(mapped)
+                lut_pack(mapped, config.k)
+            if config.area_recovery:
+                from repro.core.area import area_recovery
+
+                area_recovery(mapped, config.k)
+        state.mapped = mapped
+        state.po_depths = output_depths(mapped)
+        state.depth = max(state.po_depths.values(), default=0)
+        state.finished = True
+        return state
+
+    def verify(self, state: FlowState) -> None:
+        state.verifier.final(
+            state.mapped,
+            state.depth,
+            state.po_depths,
+            len(state.mapped.nodes),
+            source=state.source,
+        )

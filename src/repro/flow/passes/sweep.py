@@ -1,0 +1,28 @@
+"""The ``sweep`` pass: Algorithm 1 step 1.
+
+Removes constants, buffers and dangling logic from the working network
+(see :func:`repro.network.transform.sweep`).
+"""
+
+from __future__ import annotations
+
+from repro.flow.pipeline import BasePass
+from repro.flow.registry import register_pass
+from repro.flow.state import FlowState
+from repro.network.transform import sweep
+
+
+@register_pass("sweep")
+class SweepPass(BasePass):
+    """Clean the working network before collapsing/synthesis."""
+
+    requires = ("work",)
+    provides = ("work",)
+
+    def run(self, state: FlowState) -> FlowState:
+        with state.stats.stage("sweep"):
+            sweep(state.work)
+        return state
+
+    def verify(self, state: FlowState) -> None:
+        state.verifier.after_sweep(state.work)

@@ -1,0 +1,100 @@
+"""The ``synth`` pass: Algorithm 1 step 3 (per-supernode DP synthesis).
+
+Visits the collapsed network's supernodes and emits each one's best
+delay-driven decomposition into the mapped K-LUT network.  Two engines
+implement the identical contract (cell-for-cell equal output):
+
+* ``serial`` — the reference topological loop
+  (:func:`repro.core.ddbdd.serial_supernodes`);
+* ``wavefront`` — the :mod:`repro.runtime` phase A/B engine
+  (:func:`repro.runtime.schedule.wavefront_supernodes`): topological
+  wavefronts over a process pool plus the persistent content-addressed
+  DP cache.
+
+Pass options (flow script: ``synth(jobs=4, cache=readwrite)``) override
+the corresponding :class:`~repro.core.config.DDBDDConfig` knobs for
+this pass only; ``engine=auto`` (default) picks the serial loop exactly
+when ``jobs == 1`` and the cache is off, reproducing the historical
+dispatch of ``ddbdd_synthesize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import DDBDDConfig
+from repro.core.ddbdd import serial_supernodes
+from repro.flow.pipeline import BasePass, FlowError
+from repro.flow.registry import register_pass
+from repro.flow.state import FlowState
+from repro.network.netlist import BooleanNetwork
+from repro.runtime.schedule import wavefront_supernodes
+
+_ENGINES = ("auto", "serial", "wavefront")
+
+
+@register_pass("synth")
+class SynthPass(BasePass):
+    """Per-supernode delay-driven DP synthesis into the mapped network."""
+
+    requires = ("work",)
+    provides = ("mapped",)
+    option_names = ("engine", "jobs", "cache", "cache_dir", "cache_max_entries")
+
+    def __init__(self, **options: object) -> None:
+        super().__init__(**options)
+        engine = self.options.get("engine", "auto")
+        if engine not in _ENGINES:
+            raise FlowError(
+                f"synth engine must be one of {', '.join(_ENGINES)}, got {engine!r}"
+            )
+        self.engine: str = str(engine)
+
+    def effective_config(self, config: DDBDDConfig) -> DDBDDConfig:
+        """``config`` with this pass's runtime-knob overrides applied
+        (validation runs through ``DDBDDConfig.__post_init__``)."""
+        overrides = {
+            key: self.options[key]
+            for key in ("jobs", "cache", "cache_dir", "cache_max_entries")
+            if key in self.options
+        }
+        return replace(config, **overrides) if overrides else config
+
+    def run(self, state: FlowState) -> FlowState:
+        config = self.effective_config(state.config)
+        stats = state.stats
+        stats.jobs = config.effective_jobs
+        stats.cache_mode = config.cache
+
+        if state.mapped is None:
+            mapped = BooleanNetwork(state.source.name + "_ddbdd")
+            for pi in state.source.pis:
+                mapped.add_pi(pi)
+            state.mapped = mapped
+        if not state.resolve:
+            state.resolve.update({pi: (pi, False, 0) for pi in state.work.pis})
+            state.external.update(state.work.pis)
+
+        serial = self.engine == "serial" or (
+            self.engine == "auto"
+            and config.effective_jobs == 1
+            and config.cache == "off"
+        )
+        if serial:
+            with stats.stage("supernodes"):
+                results = serial_supernodes(
+                    state.work, state.mapped, config, state.verifier,
+                    state.resolve, state.external,
+                )
+            stats.supernodes += len(results)
+        else:
+            # The wavefront engine accounts its own supernode count and
+            # may itself degrade to the serial loop on a one-core,
+            # cache-off deployment (see repro.runtime.schedule).
+            with stats.stage("supernodes"):
+                results = wavefront_supernodes(
+                    state.work, state.mapped, config, state.verifier,
+                    state.resolve, state.external, stats,
+                )
+        state.supernode_results.extend(results)
+        return state

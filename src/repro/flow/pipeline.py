@@ -1,0 +1,169 @@
+"""The pass pipeline runner.
+
+A flow is a sequence of passes over one :class:`~repro.flow.state.FlowState`.
+Each pass declares
+
+* ``name`` — the registry key it is created under,
+* ``requires`` / ``provides`` — the state fields it consumes/populates
+  (enforced by the runner before/after the pass body), and
+* ``run(state)`` / ``verify(state)`` — the pass body and its
+  StageVerifier boundary hook.  The runner always calls ``verify``
+  right after ``run``, so every pass boundary is a verification
+  boundary; a pass with nothing to verify inherits the no-op.
+
+The runner also collects one
+:class:`~repro.runtime.stats.PassTelemetry` row per pass — wall time,
+verification time, RSS growth and the BDD-manager counter deltas
+(``cache_stats()``) summed over the managers live in the state — and
+appends it to ``state.stats.passes``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+from repro.flow.state import FlowState
+from repro.runtime.stats import PassTelemetry
+
+
+class FlowError(RuntimeError):
+    """A pipeline contract violation: unknown pass, malformed flow
+    script, unmet ``requires`` or unhonored ``provides``."""
+
+
+class BasePass:
+    """Convenience base class for passes.
+
+    Subclasses set the ``name`` / ``requires`` / ``provides`` class
+    attributes and implement :meth:`run`; :meth:`verify` defaults to a
+    no-op boundary.  The constructor rejects unknown options so a typo
+    in a flow script (``synth(jbos=2)``) fails loudly at build time.
+    """
+
+    name: str = ""
+    requires: Tuple[str, ...] = ()
+    provides: Tuple[str, ...] = ()
+    #: Option names this pass accepts from the flow script / registry.
+    option_names: Tuple[str, ...] = ()
+
+    def __init__(self, **options: object) -> None:
+        unknown = sorted(set(options) - set(self.option_names))
+        if unknown:
+            raise FlowError(
+                f"pass {self.name!r} does not accept option(s) {', '.join(unknown)}"
+                + (f" (accepts: {', '.join(self.option_names)})" if self.option_names else "")
+            )
+        self.options: Dict[str, object] = dict(options)
+
+    def run(self, state: FlowState) -> FlowState:
+        raise NotImplementedError
+
+    def verify(self, state: FlowState) -> None:
+        """StageVerifier boundary hook; default: nothing to check."""
+
+    def __repr__(self) -> str:
+        opts = ", ".join(f"{k}={v!r}" for k, v in sorted(self.options.items()))
+        return f"<pass {self.name}({opts})>"
+
+
+def _rss_kb() -> int:
+    """Current peak RSS in kB (0 where :mod:`resource` is missing)."""
+    if resource is None:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _bdd_counters(state: FlowState) -> Dict[str, int]:
+    """Summed ``cache_stats()`` over the distinct managers in the state."""
+    totals: Dict[str, int] = {}
+    seen = set()
+    for net in (state.work, state.mapped):
+        if net is None or id(net.mgr) in seen:
+            continue
+        seen.add(id(net.mgr))
+        for key, value in net.mgr.cache_stats().items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _counter_delta(before: Dict[str, int], after: Dict[str, int], suffix: str) -> int:
+    """Non-negative summed delta of every ``*<suffix>`` counter."""
+    total = 0
+    for key, value in after.items():
+        if key.endswith(suffix):
+            total += max(0, value - before.get(key, 0))
+    return total
+
+
+class Pipeline:
+    """Deterministic runner for a sequence of passes.
+
+    ``Pipeline([...]).run(state)`` executes each pass in order with
+    requires/provides enforcement, the per-pass StageVerifier boundary,
+    and telemetry collection.  The runner itself is flow-agnostic: the
+    standard DDBDD flow, the wavefront runtime variant and the
+    experiment drivers all differ only in the pass list they build (via
+    :func:`repro.flow.registry.build_pipeline`).
+    """
+
+    def __init__(self, passes: Sequence[BasePass]) -> None:
+        self.passes: List[BasePass] = list(passes)
+        if not self.passes:
+            raise FlowError("a pipeline needs at least one pass")
+
+    @property
+    def names(self) -> List[str]:
+        """Pass names in execution order."""
+        return [p.name for p in self.passes]
+
+    def describe(self) -> str:
+        """The flow-script string this pipeline corresponds to."""
+        return ";".join(self.names)
+
+    def run(self, state: FlowState) -> FlowState:
+        """Execute every pass over ``state``; returns ``state``."""
+        for p in self.passes:
+            missing = [f for f in p.requires if not state.has(f)]
+            if missing:
+                raise FlowError(
+                    f"pass {p.name!r} requires state field(s) "
+                    f"{', '.join(missing)} — is the flow script missing an "
+                    f"earlier pass? (pipeline: {self.describe()})"
+                )
+            rss0 = _rss_kb()
+            bdd0 = _bdd_counters(state)
+            t0 = time.perf_counter()
+            result = p.run(state)
+            seconds = time.perf_counter() - t0
+            if result is not None:
+                state = result
+            t1 = time.perf_counter()
+            p.verify(state)
+            verify_seconds = time.perf_counter() - t1
+            unhonored = [f for f in p.provides if not state.has(f)]
+            if unhonored:
+                raise FlowError(
+                    f"pass {p.name!r} declared but did not populate "
+                    f"state field(s): {', '.join(unhonored)}"
+                )
+            bdd1 = _bdd_counters(state)
+            rss1 = _rss_kb()
+            state.stats.passes.append(
+                PassTelemetry(
+                    name=p.name,
+                    seconds=seconds,
+                    verify_seconds=verify_seconds,
+                    rss_peak_kb=rss1,
+                    rss_delta_kb=max(0, rss1 - rss0),
+                    bdd_nodes_created=max(0, bdd1.get("nodes", 0) - bdd0.get("nodes", 0)),
+                    bdd_cache_hits=_counter_delta(bdd0, bdd1, "_hits"),
+                    bdd_cache_misses=_counter_delta(bdd0, bdd1, "_entries"),
+                )
+            )
+        return state

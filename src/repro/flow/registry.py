@@ -1,0 +1,132 @@
+"""Pass registry and the flow-script parser.
+
+Stages are reached *by name* through this registry (repolint rule
+RL005 forbids importing :mod:`repro.flow.passes` internals from outside
+``repro.flow``), which is what lets a flow be described as a string:
+
+    ``"sweep;collapse;synth;map"``
+
+Grammar (whitespace-insensitive)::
+
+    flow   := unit (';' unit)*
+    unit   := name [ '(' opts ')' ]
+    opts   := key '=' value (',' key '=' value)*
+
+Values are coerced: integers (``jobs=2``), booleans (``true``/``false``)
+and floats parse to their Python types; everything else stays a string
+(``cache=readwrite``).  ``DDBDDConfig.flow`` holds such a script to
+override the default flow of :func:`repro.flow.run_flow`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Tuple, Type, Union
+
+from repro.flow.pipeline import BasePass, FlowError, Pipeline
+
+#: name -> pass factory (usually the pass class itself).
+_REGISTRY: Dict[str, Callable[..., BasePass]] = {}
+
+_UNIT_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_\-]*)\s*(?:\(\s*(.*?)\s*\))?\s*$")
+
+
+class FlowScriptError(FlowError):
+    """A flow script failed to parse or named an unknown pass/option."""
+
+
+def register_pass(name: str) -> Callable[[Type[BasePass]], Type[BasePass]]:
+    """Class decorator registering a pass under ``name``."""
+
+    def deco(cls: Type[BasePass]) -> Type[BasePass]:
+        if name in _REGISTRY:
+            raise ValueError(f"pass {name!r} registered twice")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def available_passes() -> List[str]:
+    """Registered pass names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_pass(name: str, **options: object) -> BasePass:
+    """Instantiate the registered pass ``name`` with ``options``."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise FlowScriptError(
+            f"unknown pass {name!r} (available: {', '.join(available_passes())})"
+        )
+    return factory(**options)
+
+
+def _coerce(raw: str) -> object:
+    text = raw.strip()
+    low = text.lower()
+    # "on"/"off" stay strings: they are cache-mode values, not booleans.
+    if low in ("true", "yes"):
+        return True
+    if low in ("false", "no"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_flow(spec: str) -> List[Tuple[str, Dict[str, object]]]:
+    """Parse a flow script into ``[(pass_name, options), ...]``.
+
+    Raises :class:`FlowScriptError` on syntax errors; pass/option
+    existence is checked later by :func:`create_pass`.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise FlowScriptError("flow script must be a non-empty string")
+    units: List[Tuple[str, Dict[str, object]]] = []
+    for chunk in spec.split(";"):
+        if not chunk.strip():
+            raise FlowScriptError(f"empty pass name in flow script {spec!r}")
+        m = _UNIT_RE.match(chunk)
+        if m is None:
+            raise FlowScriptError(f"cannot parse flow unit {chunk.strip()!r}")
+        name, raw_opts = m.group(1), m.group(2)
+        options: Dict[str, object] = {}
+        if raw_opts:
+            for pair in raw_opts.split(","):
+                if "=" not in pair:
+                    raise FlowScriptError(
+                        f"option {pair.strip()!r} of pass {name!r} is not key=value"
+                    )
+                key, value = pair.split("=", 1)
+                key = key.strip()
+                if not key.isidentifier():
+                    raise FlowScriptError(f"bad option name {key!r} of pass {name!r}")
+                if key in options:
+                    raise FlowScriptError(f"duplicate option {key!r} of pass {name!r}")
+                options[key] = _coerce(value)
+        units.append((name, options))
+    return units
+
+
+def build_pipeline(spec: Union[str, List[BasePass]]) -> Pipeline:
+    """Build a :class:`Pipeline` from a flow script (or a ready pass list)."""
+    if isinstance(spec, str):
+        passes = [create_pass(name, **options) for name, options in parse_flow(spec)]
+        return Pipeline(passes)
+    return Pipeline(spec)
+
+
+def default_flow(config: object = None) -> str:
+    """The standard Algorithm 1 flow script for ``config`` (collapse is
+    dropped when ``config.collapse`` is false, reproducing the paper's
+    "without collapsing" ablation)."""
+    collapse = True if config is None else bool(getattr(config, "collapse", True))
+    return "sweep;collapse;synth;map" if collapse else "sweep;synth;map"

@@ -13,10 +13,11 @@ provides an equivalent engine that
 * reports per-stage/per-wavefront telemetry
   (:mod:`repro.runtime.stats`).
 
-The engine is engaged by :func:`repro.core.ddbdd.ddbdd_synthesize` when
-``DDBDDConfig.jobs != 1`` or ``DDBDDConfig.cache != "off"``, and is
-contractually deterministic: its output network is identical — names,
-fanins, functions — to the serial loop's.
+The engine is engaged by the ``synth`` pass of the
+:mod:`repro.flow` pipeline when ``DDBDDConfig.jobs != 1`` or
+``DDBDDConfig.cache != "off"`` (or forced via the ``engine=wavefront``
+pass option), and is contractually deterministic: its output network is
+identical — names, fanins, functions — to the serial loop's.
 """
 
 from repro.runtime.cache import DEFAULT_MAX_ENTRIES, EmissionCache
@@ -29,7 +30,13 @@ from repro.runtime.emission import (
     verify_record,
 )
 from repro.runtime.pool import JobRunner, SupernodeJob, run_supernode_job
-from repro.runtime.schedule import WaveLevel, WavePlan, plan_wavefronts, run_wavefronts
+from repro.runtime.schedule import (
+    WaveLevel,
+    WavePlan,
+    plan_wavefronts,
+    run_wavefronts,
+    wavefront_supernodes,
+)
 from repro.runtime.signature import (
     SIGNATURE_VERSION,
     CanonicalDAG,
@@ -56,6 +63,7 @@ __all__ = [
     "WavePlan",
     "plan_wavefronts",
     "run_wavefronts",
+    "wavefront_supernodes",
     "SIGNATURE_VERSION",
     "CanonicalDAG",
     "dag_size",

@@ -151,10 +151,50 @@ def run_wavefronts(
     external: Set[str],
     stats: RuntimeStats,
 ) -> List[SupernodeResult]:
-    """Synthesize all supernodes of ``work`` into ``mapped``.
+    """Synthesize all supernodes of ``work`` into ``mapped`` through the
+    :class:`repro.flow.Pipeline` runner.
 
-    Drop-in replacement for the serial supernode loop of
-    :func:`repro.core.ddbdd.ddbdd_synthesize`; mutates ``resolve`` /
+    Compatibility entrypoint for callers that hold the supernode-stage
+    state directly: it wraps the arguments into a
+    :class:`~repro.flow.state.FlowState` and drives a one-pass pipeline
+    whose ``synth`` pass (``engine=wavefront``) executes
+    :func:`wavefront_supernodes` — so the per-pass telemetry and
+    boundary contracts match :func:`repro.flow.run_flow` exactly.
+    Mutates ``resolve`` / ``external`` exactly as the serial loop would
+    and returns the :class:`~repro.core.dp.SupernodeResult` list in
+    serial order.
+    """
+    # Deferred import: repro.flow's synth pass imports this module.
+    from repro.flow import FlowState, build_pipeline
+
+    state = FlowState(
+        source=work,
+        config=config,
+        verifier=verifier,
+        stats=stats,
+        work=work,
+        mapped=mapped,
+        resolve=resolve,
+        external=external,
+    )
+    build_pipeline("synth(engine=wavefront)").run(state)
+    return state.supernode_results
+
+
+def wavefront_supernodes(
+    work: BooleanNetwork,
+    mapped: BooleanNetwork,
+    config: DDBDDConfig,
+    verifier: StageVerifier,
+    resolve: Dict[str, Tuple[str, bool, int]],
+    external: Set[str],
+    stats: RuntimeStats,
+) -> List[SupernodeResult]:
+    """The phase A/B wavefront engine (the ``synth`` pass's
+    ``engine=wavefront`` body).
+
+    Drop-in replacement for the serial supernode loop
+    (:func:`repro.core.ddbdd.serial_supernodes`); mutates ``resolve`` /
     ``external`` exactly as the serial loop would and returns the
     :class:`~repro.core.dp.SupernodeResult` list in serial order.
     """
@@ -175,10 +215,10 @@ def run_wavefronts(
     # the contractually-identical serial loop instead (wavefront
     # telemetry above is kept — the plan is the same either way).
     if cache is None and min(config.effective_jobs, os.cpu_count() or 1) == 1:
-        from repro.core.ddbdd import _serial_supernodes
+        from repro.core.ddbdd import serial_supernodes
 
         with stats.stage("dp"):
-            results = _serial_supernodes(
+            results = serial_supernodes(
                 work, mapped, config, verifier, resolve, external
             )
         stats.supernodes += len(results)

@@ -4,7 +4,13 @@
 parallel widths and cache hit/miss counters during one
 :func:`~repro.core.ddbdd.ddbdd_synthesize` call and rides back to the
 caller on :attr:`~repro.core.ddbdd.SynthesisResult.runtime_stats`;
-``ddbdd synth --stats`` prints :meth:`RuntimeStats.render`.
+``ddbdd synth --stats`` prints :meth:`RuntimeStats.render` and
+``--stats-json`` dumps :meth:`RuntimeStats.as_dict`.
+
+Since the flow became a pass pipeline (:mod:`repro.flow`), the runner
+also appends one :class:`PassTelemetry` row per executed pass: wall
+time, verification time, RSS growth and the BDD-manager counter deltas
+(nodes created, operator-cache hit rate) observed across the pass.
 
 The collection overhead is a handful of ``perf_counter`` calls per
 stage, so stats are gathered unconditionally — there is no "stats off"
@@ -17,6 +23,50 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
+
+
+@dataclass
+class PassTelemetry:
+    """Telemetry of one executed pipeline pass.
+
+    ``seconds`` is the pass's own wall time; ``verify_seconds`` the
+    StageVerifier boundary hook that ran right after it.  The BDD
+    counters are deltas of :meth:`repro.bdd.manager.BDDManager.cache_stats`
+    summed over the managers live in the flow state (clamped at zero —
+    a pass that swaps in a fresh network legitimately shrinks them).
+    ``rss_peak_kb`` is ``ru_maxrss`` after the pass (0 where the
+    :mod:`resource` module is unavailable); ``rss_delta_kb`` its growth
+    across the pass.
+    """
+
+    name: str
+    seconds: float
+    verify_seconds: float = 0.0
+    rss_peak_kb: int = 0
+    rss_delta_kb: int = 0
+    bdd_nodes_created: int = 0
+    bdd_cache_hits: int = 0
+    bdd_cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Operator-cache hit fraction in [0, 1] (0.0 when idle)."""
+        total = self.bdd_cache_hits + self.bdd_cache_misses
+        return self.bdd_cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of this row."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "verify_seconds": self.verify_seconds,
+            "rss_peak_kb": self.rss_peak_kb,
+            "rss_delta_kb": self.rss_delta_kb,
+            "bdd_nodes_created": self.bdd_nodes_created,
+            "bdd_cache_hits": self.bdd_cache_hits,
+            "bdd_cache_misses": self.bdd_cache_misses,
+            "bdd_cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
 
 
 @dataclass
@@ -33,6 +83,10 @@ class RuntimeStats:
         Wall time per flow stage (``sweep``, ``collapse``,
         ``supernodes``, ``dp``, ``postprocess``, ...).  ``dp`` counts
         only the dynamic-program batches inside ``supernodes``.
+    passes:
+        One :class:`PassTelemetry` row per pipeline pass, in execution
+        order (empty when the run did not go through the
+        :class:`repro.flow.Pipeline` runner).
     wavefront_widths:
         Number of concurrently synthesizable supernodes per topological
         wavefront (empty for the pure serial path, which has no
@@ -50,6 +104,7 @@ class RuntimeStats:
     jobs: int = 1
     cache_mode: str = "off"
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    passes: List[PassTelemetry] = field(default_factory=list)
     wavefront_widths: List[int] = field(default_factory=list)
     supernodes: int = 0
     cache_hits: int = 0
@@ -74,11 +129,37 @@ class RuntimeStats:
     def max_wavefront_width(self) -> int:
         return max(self.wavefront_widths, default=0)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the whole run (for ``--stats-json``)."""
+        return {
+            "jobs": self.jobs,
+            "cache_mode": self.cache_mode,
+            "stage_seconds": dict(self.stage_seconds),
+            "passes": [p.as_dict() for p in self.passes],
+            "wavefront_widths": list(self.wavefront_widths),
+            "supernodes": self.supernodes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_puts": self.cache_puts,
+            "cache_rejected": self.cache_rejected,
+        }
+
     def render(self) -> str:
         """Human-readable multi-line summary (for ``--stats``)."""
         lines = [f"runtime: jobs={self.jobs} cache={self.cache_mode}"]
         for name, seconds in self.stage_seconds.items():
             lines.append(f"  stage {name:<12s} {seconds:8.3f}s")
+        if self.passes:
+            lines.append(
+                f"  {'pass':<10s} {'time_s':>8s} {'verify_s':>9s} "
+                f"{'rss_kb':>9s} {'bdd_nodes':>10s} {'cache_hit%':>10s}"
+            )
+            for p in self.passes:
+                lines.append(
+                    f"  {p.name:<10s} {p.seconds:8.3f} {p.verify_seconds:9.3f} "
+                    f"{p.rss_delta_kb:9d} {p.bdd_nodes_created:10d} "
+                    f"{100.0 * p.cache_hit_rate:9.1f}%"
+                )
         if self.wavefront_widths:
             widths = self.wavefront_widths
             lines.append(

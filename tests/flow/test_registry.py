@@ -1,0 +1,96 @@
+"""Flow-script parsing, value coercion and the pass registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DDBDDConfig
+from repro.flow import (
+    FlowError,
+    FlowScriptError,
+    available_passes,
+    build_pipeline,
+    create_pass,
+    default_flow,
+    parse_flow,
+)
+
+
+def test_standard_passes_registered():
+    assert {"sweep", "collapse", "synth", "map"} <= set(available_passes())
+
+
+def test_parse_flow_basic():
+    assert parse_flow("sweep;collapse;synth;map") == [
+        ("sweep", {}),
+        ("collapse", {}),
+        ("synth", {}),
+        ("map", {}),
+    ]
+    # Whitespace-insensitive.
+    assert parse_flow(" sweep ; synth ; map ") == [
+        ("sweep", {}),
+        ("synth", {}),
+        ("map", {}),
+    ]
+
+
+def test_parse_flow_options_and_coercion():
+    units = parse_flow("synth(jobs=2, cache=readwrite, engine=wavefront)")
+    assert units == [
+        ("synth", {"jobs": 2, "cache": "readwrite", "engine": "wavefront"})
+    ]
+    # Booleans, floats and off/on (which must stay strings: they are
+    # cache-mode values).
+    (_, opts), = parse_flow("p(a=true, b=no, c=2.5, d=off, e=on)")
+    assert opts == {"a": True, "b": False, "c": 2.5, "d": "off", "e": "on"}
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "   ",
+        "sweep;;map",
+        ";sweep",
+        "sweep(",
+        "sweep)",
+        "synth(jobs)",
+        "synth(jobs=1, jobs=2)",
+        "synth(2jobs=1)",
+        "sy nth",
+    ],
+)
+def test_parse_flow_rejects_malformed(bad):
+    with pytest.raises(FlowScriptError):
+        parse_flow(bad)
+
+
+def test_create_pass_unknown_name_and_option():
+    with pytest.raises(FlowScriptError, match="unknown pass"):
+        create_pass("nosuchpass")
+    with pytest.raises(FlowError, match="jbos"):
+        create_pass("synth", jbos=2)
+    # Pass construction errors surface through build_pipeline too.
+    with pytest.raises(FlowScriptError):
+        build_pipeline("sweep;nosuchpass")
+
+
+def test_build_pipeline_describe_roundtrip():
+    pipe = build_pipeline("sweep;collapse;synth;map")
+    assert pipe.names == ["sweep", "collapse", "synth", "map"]
+    assert pipe.describe() == "sweep;collapse;synth;map"
+
+
+def test_default_flow_tracks_collapse():
+    assert default_flow(DDBDDConfig()) == "sweep;collapse;synth;map"
+    assert default_flow(DDBDDConfig(collapse=False)) == "sweep;synth;map"
+    assert default_flow(None) == "sweep;collapse;synth;map"
+
+
+def test_config_flow_field_validation():
+    assert DDBDDConfig(flow="sweep;synth;map").flow == "sweep;synth;map"
+    with pytest.raises(ValueError):
+        DDBDDConfig(flow="")
+    with pytest.raises(ValueError):
+        DDBDDConfig(flow="   ")

@@ -59,11 +59,22 @@ def test_serial_path_records_stats_without_wavefronts():
 def test_jobs_env_fallback(monkeypatch):
     monkeypatch.setenv("DDBDD_JOBS", "3")
     assert DDBDDConfig().jobs == 3
-    monkeypatch.setenv("DDBDD_JOBS", "not-a-number")
-    assert DDBDDConfig().jobs == 1
     monkeypatch.delenv("DDBDD_JOBS")
     assert DDBDDConfig().jobs == 1
     assert DDBDDConfig(jobs=0).effective_jobs >= 1
+
+
+def test_jobs_env_malformed_rejected(monkeypatch):
+    # A typo'd DDBDD_JOBS must fail loudly (naming the variable), not
+    # silently fall back to serial.
+    for bad in ("not-a-number", "2.5", "-1", "1 2"):
+        monkeypatch.setenv("DDBDD_JOBS", bad)
+        with pytest.raises(ValueError, match="DDBDD_JOBS"):
+            DDBDDConfig()
+    monkeypatch.setenv("DDBDD_JOBS", "  4  ")
+    assert DDBDDConfig().jobs == 4
+    monkeypatch.setenv("DDBDD_JOBS", "")
+    assert DDBDDConfig().jobs == 1
 
 
 def test_invalid_runtime_config_rejected():

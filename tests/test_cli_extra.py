@@ -1,4 +1,7 @@
-"""Tests for the equiv/stats CLI subcommands."""
+"""Tests for the equiv/stats CLI subcommands and the synth/check
+pipeline-facing flags."""
+
+import json
 
 from repro.cli import main
 
@@ -25,3 +28,52 @@ def test_stats(capsys):
     assert main(["stats", "count"]) == 0
     out = capsys.readouterr().out
     assert "inputs:" in out and "depth:" in out
+
+
+def test_synth_stats_shows_per_pass_rows(capsys):
+    assert main(["synth", "count", "--stats"]) == 0
+    out = capsys.readouterr().out
+    for name in ("sweep", "collapse", "synth", "map"):
+        assert name in out
+
+
+def test_synth_stats_json(capsys):
+    assert main(["synth", "count", "--jobs", "1", "--stats-json"]) == 0
+    json_line = [
+        line for line in capsys.readouterr().out.splitlines() if line.startswith("{")
+    ][-1]
+    payload = json.loads(json_line)
+    assert [row["name"] for row in payload["passes"]] == [
+        "sweep", "collapse", "synth", "map",
+    ]
+    assert payload["jobs"] == 1
+
+
+def test_synth_passes_flag_drives_flow(capsys):
+    assert main(["synth", "count", "--passes", "sweep;synth;map", "--stats-json"]) == 0
+    json_line = [
+        line for line in capsys.readouterr().out.splitlines() if line.startswith("{")
+    ][-1]
+    payload = json.loads(json_line)
+    assert [row["name"] for row in payload["passes"]] == ["sweep", "synth", "map"]
+
+
+def test_synth_profile_out_writes_pstats(tmp_path, capsys):
+    import pstats
+
+    out = tmp_path / "synth.prof"
+    assert main(["synth", "count", "--profile-out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert f"wrote profile to {out}" in text
+    # --profile-out alone must not dump the top-N tables to stdout.
+    assert "--- profile:" not in text
+    stats = pstats.Stats(str(out))
+    assert stats.total_calls > 0
+
+
+def test_check_synth_reports_verified_passes(capsys):
+    assert main(["check", "count", "--synth"]) == 0
+    out = capsys.readouterr().out
+    for name in ("sweep", "collapse", "synth", "map"):
+        assert f"pass {name}" in out
+    assert "stage boundary" in out
