@@ -9,6 +9,8 @@ the system *claims* rather than trusting it.
 * :mod:`repro.analysis.bddcheck` — BDD-manager invariants (DD2xx).
 * :mod:`repro.analysis.covercheck` — LUT-cover legality, independent
   depth audit and spot equivalence (DD3xx).
+* :mod:`repro.analysis.failcheck` — diagnostics over recovered runtime
+  failures: degraded covers, budget breaches, pool recoveries (DD4xx).
 * :mod:`repro.analysis.hooks` — :class:`StageVerifier`, the flow's
   stage-boundary verification driven by ``DDBDDConfig.verify_level``.
 * :mod:`repro.analysis.repolint` — the AST-based project lint gate
@@ -28,12 +30,18 @@ from repro.analysis.diagnostics import (
 from repro.analysis.hooks import StageVerifier, verify_synthesis_result
 from repro.analysis.netcheck import check_network
 
+# Imported last: failcheck reaches into repro.runtime.stats, whose
+# import chain touches repro.analysis submodules (hooks) — those must
+# already be bound above.
+from repro.analysis.failcheck import check_failure_reports
+
 __all__ = [
     "DIAGNOSTIC_CODES",
     "Diagnostic",
     "VerificationError",
     "StageVerifier",
     "check_bdd_manager",
+    "check_failure_reports",
     "check_lut_cover",
     "check_network",
     "errors_of",

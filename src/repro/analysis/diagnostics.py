@@ -8,6 +8,7 @@ text.  Code families:
 * ``DD1xx`` — Boolean-network invariants (:mod:`repro.analysis.netcheck`)
 * ``DD2xx`` — BDD-manager invariants (:mod:`repro.analysis.bddcheck`)
 * ``DD3xx`` — LUT-cover invariants (:mod:`repro.analysis.covercheck`)
+* ``DD4xx`` — runtime resilience events (:mod:`repro.analysis.failcheck`)
 
 Severity is ``"error"`` (a violated invariant: the IR is corrupt) or
 ``"warning"`` (legal but suspicious, e.g. unreachable logic before a
@@ -47,6 +48,11 @@ DIAGNOSTIC_CODES = {
     "DD303": "claimed per-PO depth disagrees with recomputation",
     "DD304": "claimed area disagrees with the emitted network",
     "DD305": "cover is not functionally equivalent to its source",
+    # DD4xx — runtime resilience (:mod:`repro.analysis.failcheck`)
+    "DD401": "LUT cover produced by a degradation-ladder rung",
+    "DD402": "degraded cover failed re-verification",
+    "DD403": "supernode job exceeded its execution budget",
+    "DD404": "worker-pool failure recovered by retry or serial fallback",
 }
 
 

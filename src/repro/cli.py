@@ -51,6 +51,13 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.jobs is not None:
         kwargs["jobs"] = args.jobs
+    if args.job_deadline is not None:
+        kwargs["job_deadline_s"] = args.job_deadline
+    if args.job_node_budget is not None:
+        kwargs["job_node_budget"] = args.job_node_budget
+    if args.faults is not None:
+        # Explicit flag wins over the $DDBDD_FAULTS default.
+        kwargs["faults"] = args.faults
     config = DDBDDConfig(
         k=args.k,
         collapse=not args.no_collapse,
@@ -191,6 +198,30 @@ def main(argv: Optional[list] = None) -> int:
         "--cache-dir",
         default=".ddbdd_cache",
         help="cache directory (default: .ddbdd_cache)",
+    )
+    p.add_argument(
+        "--job-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-time budget per supernode job; a breach triggers the "
+        "degradation ladder (default: unlimited)",
+    )
+    p.add_argument(
+        "--job-node-budget",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help="live-BDD-node budget per supernode job; a breach triggers "
+        "the degradation ladder (default: unlimited)",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan, e.g. "
+        '"crash_worker@job=3;corrupt_shard@put=5;stall@job=7:2.5s" '
+        "(overrides $DDBDD_FAULTS; testing only)",
     )
     p.add_argument(
         "--stats",

@@ -12,6 +12,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.resilience.faults import FaultPlan, FaultPlanError
+
 
 def _default_jobs() -> int:
     """Worker count default: the ``DDBDD_JOBS`` environment variable
@@ -36,6 +38,23 @@ def _default_jobs() -> int:
             f"DDBDD_JOBS must be an integer >= 0 (0 means all CPUs), got {raw!r}"
         )
     return jobs
+
+
+def _default_faults() -> Optional[str]:
+    """Fault-plan default: the ``DDBDD_FAULTS`` environment variable
+    when set (the fault-injection test/CI hook), else ``None``.
+
+    Same loud-failure policy as ``DDBDD_JOBS``: a malformed plan raises
+    :class:`ValueError` naming the variable at config construction.
+    """
+    raw = os.environ.get("DDBDD_FAULTS", "").strip()
+    if not raw:
+        return None
+    try:
+        FaultPlan.parse(raw)
+    except FaultPlanError as exc:
+        raise ValueError(f"DDBDD_FAULTS is not a valid fault plan: {exc}") from None
+    return raw
 
 
 @dataclass
@@ -135,6 +154,29 @@ class DDBDDConfig:
         against the registry when the pipeline is built; syntax or
         registry errors raise
         :class:`repro.flow.FlowScriptError` at that point.
+    job_deadline_s:
+        Wall-time budget per supernode job in seconds (``None`` =
+        unbounded).  A breached job aborts cleanly and is re-synthesized
+        by the degradation ladder (:mod:`repro.resilience.ladder`),
+        recorded as a :class:`~repro.runtime.stats.FailureReport`.
+    job_node_budget:
+        BDD-node ceiling per supernode job, checked against the DP's
+        private manager inside the recursion (``None`` = unbounded).
+        Same breach handling as ``job_deadline_s``.
+    pool_max_retries:
+        How many times a failed worker-pool chunk is retried (with a
+        respawned pool) before falling back to in-process serial
+        execution.
+    pool_retry_backoff_s:
+        Base of the bounded exponential backoff between pool retries
+        (attempt ``i`` sleeps ``pool_retry_backoff_s * 2**(i-1)``).
+    faults:
+        Deterministic fault-injection plan (see
+        :mod:`repro.resilience.faults` for the grammar), e.g.
+        ``"crash_worker@job=3;corrupt_shard@put=5;stall@job=7:2.5s"``.
+        Defaults to the ``DDBDD_FAULTS`` environment variable when set;
+        ``None`` disables injection.  Validated eagerly at config
+        construction.
     """
 
     k: int = 5
@@ -158,6 +200,11 @@ class DDBDDConfig:
     cache_dir: str = ".ddbdd_cache"
     cache_max_entries: int = 8192
     flow: Optional[str] = None
+    job_deadline_s: Optional[float] = None
+    job_node_budget: Optional[int] = None
+    pool_max_retries: int = 2
+    pool_retry_backoff_s: float = 0.05
+    faults: Optional[str] = field(default_factory=_default_faults)
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -178,6 +225,20 @@ class DDBDDConfig:
             not isinstance(self.flow, str) or not self.flow.strip()
         ):
             raise ValueError("flow must be None or a non-empty flow-script string")
+        if self.job_deadline_s is not None and not self.job_deadline_s > 0:
+            raise ValueError("job_deadline_s must be positive (or None)")
+        if self.job_node_budget is not None and self.job_node_budget < 1:
+            raise ValueError("job_node_budget must be >= 1 (or None)")
+        if self.pool_max_retries < 0:
+            raise ValueError("pool_max_retries must be >= 0")
+        if self.pool_retry_backoff_s < 0:
+            raise ValueError("pool_retry_backoff_s must be >= 0")
+        if self.faults is not None:
+            if not isinstance(self.faults, str) or not self.faults.strip():
+                raise ValueError("faults must be None or a non-empty fault plan")
+            # Eager validation: FaultPlanError subclasses ValueError, so a
+            # typo'd plan fails here instead of mid-synthesis.
+            FaultPlan.parse(self.faults)
 
     @property
     def verify_emission(self) -> bool:
@@ -190,3 +251,14 @@ class DDBDDConfig:
         if self.jobs == 0:
             return os.cpu_count() or 1
         return self.jobs
+
+    @property
+    def resilience_active(self) -> bool:
+        """Whether any resilience machinery (budgets or fault injection)
+        is engaged — such runs must go through the guarded wavefront
+        engine, never the plain serial shortcut."""
+        return (
+            self.faults is not None
+            or self.job_deadline_s is not None
+            or self.job_node_budget is not None
+        )

@@ -34,6 +34,7 @@ from repro.core.binpack import Box, PackedBin, pack_or_cost, pack_or_gates
 from repro.core.config import DDBDDConfig
 from repro.core.linear import Candidate, KIND_PRIORITY, State, candidates_for_cut
 from repro.network.netlist import BooleanNetwork
+from repro.resilience.budget import BudgetMeter
 from repro.utils import BoundedMemo, recursion_headroom
 
 # The DP recursion nests one level per cut level; deep BDDs (by paper
@@ -76,6 +77,13 @@ class BDDSynthesizer:
         ids of ``mgr``).
     config:
         DDBDD tunables (K, thresh, special decompositions, ...).
+    meter:
+        Optional :class:`~repro.resilience.budget.BudgetMeter` guarding
+        this synthesis: ticked on every DP state miss and bound to the
+        private manager's node count, so a wall-time deadline or
+        BDD-node ceiling aborts the job with
+        :class:`~repro.resilience.budget.BudgetExceeded` instead of
+        running away.  ``None`` (default) costs nothing.
     """
 
     def __init__(
@@ -84,8 +92,10 @@ class BDDSynthesizer:
         func: int,
         input_delays: Dict[int, int],
         config: Optional[DDBDDConfig] = None,
+        meter: Optional[BudgetMeter] = None,
     ) -> None:
         self.config = config or DDBDDConfig()
+        self._meter = meter
         effort = self.config.reorder_effort
         if effort == "auto":
             size = mgr.count_nodes(func)
@@ -99,6 +109,14 @@ class BDDSynthesizer:
                 self.mgr, self.func, _ = timing_sift(mgr, func, input_delays)
             else:
                 self.mgr, self.func, _ = reorder_for_size(mgr, func, effort)
+        if meter is not None:
+            # The ceiling meters the private post-reorder manager — the
+            # one the DP actually grows.  The eager check catches a job
+            # that burned its whole deadline before the DP even started
+            # (e.g. a stalled worker) on tiny BDDs whose recursion would
+            # never reach a periodic tick.
+            meter.bind_node_source(lambda: self.mgr.num_nodes)
+            meter.check()
         # Map private-manager variables back to the caller's ids (the
         # transfer preserves variable ids, so this is the identity; kept
         # explicit in case that changes).
@@ -136,6 +154,8 @@ class BDDSynthesizer:
         """
         if self.mgr.is_terminal(self.func):
             raise ValueError("constant functions are not synthesized by the DP")
+        if self._meter is not None:
+            self._meter.check()
         with recursion_headroom(_MIN_RECURSION):
             return self.delay(self.root_state)
 
@@ -165,6 +185,9 @@ class BDDSynthesizer:
         got = self._delay.get(state)
         if got is not None:
             return got
+        meter = self._meter
+        if meter is not None:
+            meter.tick()
         u, l, v = state
         if l == 0:
             # Single literal: positive if v is the 1-child (Algorithm 3's

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.analysis.diagnostics import WARNING, raise_on_errors, with_stage
+from repro.analysis.failcheck import check_failure_reports
 from repro.core.config import DDBDDConfig
 from repro.core.ddbdd import serial_supernodes
 from repro.flow.pipeline import BasePass, FlowError
@@ -79,7 +81,9 @@ class SynthPass(BasePass):
             self.engine == "auto"
             and config.effective_jobs == 1
             and config.cache == "off"
+            and not config.resilience_active
         )
+        n_failures_before = len(stats.failures)
         if serial:
             with stats.stage("supernodes"):
                 results = serial_supernodes(
@@ -97,4 +101,17 @@ class SynthPass(BasePass):
                     state.resolve, state.external, stats,
                 )
         state.supernode_results.extend(results)
+
+        # Fold any failures this pass recovered (budget breaches that
+        # went down the degradation ladder, worker-pool deaths) into the
+        # DD4xx diagnostic vocabulary: warnings accumulate on the
+        # verifier like any other stage finding; an unverified recovered
+        # cover (DD402) aborts the flow here.
+        new_reports = stats.failures[n_failures_before:]
+        if new_reports:
+            diags = with_stage(check_failure_reports(new_reports), "synth")
+            state.verifier.warnings.extend(
+                d for d in diags if d.severity == WARNING
+            )
+            raise_on_errors(diags, stage="synth")
         return state

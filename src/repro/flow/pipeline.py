@@ -138,6 +138,7 @@ class Pipeline:
                 )
             rss0 = _rss_kb()
             bdd0 = _bdd_counters(state)
+            failures0 = len(state.stats.failures)
             t0 = time.perf_counter()
             result = p.run(state)
             seconds = time.perf_counter() - t0
@@ -164,6 +165,7 @@ class Pipeline:
                     bdd_nodes_created=max(0, bdd1.get("nodes", 0) - bdd0.get("nodes", 0)),
                     bdd_cache_hits=_counter_delta(bdd0, bdd1, "_hits"),
                     bdd_cache_misses=_counter_delta(bdd0, bdd1, "_entries"),
+                    failures=len(state.stats.failures) - failures0,
                 )
             )
         return state

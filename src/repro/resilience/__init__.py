@@ -1,0 +1,46 @@
+"""repro.resilience: budgets, fault injection and graceful degradation.
+
+The runtime's self-healing layer, in three parts:
+
+* :mod:`repro.resilience.budget` — per-job execution budgets
+  (wall-time deadline + BDD-node ceiling) metered inside the DP
+  recursion; a breach aborts the job cleanly with
+  :class:`~repro.resilience.budget.BudgetExceeded`.
+* :mod:`repro.resilience.faults` — deterministic fault injection
+  (``DDBDD_FAULTS`` / :class:`~repro.resilience.faults.FaultPlan`):
+  worker crashes, stalls, transient raises, forced blow-ups and cache
+  shard corruption, fired at fixed injection points so recovery is
+  testable end-to-end.
+* :mod:`repro.resilience.ladder` — the degradation ladder that
+  re-synthesizes a budget-breached supernode (clean retry → tighter
+  ``thresh`` → plain linear expansion → per-node Shannon cones), so
+  every supernode always yields a verified LUT cover.
+
+This ``__init__`` deliberately exports only the budget and fault
+primitives: they are stdlib-only and imported by the pool/DP hot paths
+and by worker processes.  The ladder pulls in the full synthesis stack;
+import it as :mod:`repro.resilience.ladder` where needed
+(:mod:`repro.runtime.schedule` does).
+"""
+
+from repro.resilience.budget import Budget, BudgetExceeded, BudgetMeter
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultPlanError,
+    InjectedFault,
+    activated,
+    active_plan,
+    is_active,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedFault",
+    "activated",
+    "active_plan",
+    "is_active",
+]

@@ -1,0 +1,124 @@
+"""Execution budgets for supernode jobs.
+
+A :class:`Budget` bounds one supernode dynamic program along the two
+axes that can actually run away in practice:
+
+* **wall time** (``deadline_s``) — a stalled worker, a pathological
+  reordering, or plain host contention; and
+* **BDD nodes** (``max_nodes``) — the DP's private manager growing past
+  the regime the paper's structural bounds (size bound 200, ``thresh``
+  cut pruning) were chosen for.
+
+A :class:`BudgetMeter` is the per-execution instance: it starts its
+clock at construction, is bound to the job's private
+:class:`~repro.bdd.manager.BDDManager` once the DP owns one, and is
+*ticked* from the DP recursion (:meth:`tick` — one increment-and-mask
+per DP state, a full :meth:`check` every :data:`CHECK_EVERY` ticks so
+the hot path stays hot).  A breach raises :class:`BudgetExceeded`,
+which the guarded job runner (:mod:`repro.runtime.pool`) converts into
+a breach outcome for the degradation ladder
+(:mod:`repro.resilience.ladder`) — budgets never abort a synthesis run,
+they only reroute one supernode to a cheaper rung.
+
+Stdlib-only on purpose: this module is imported by the DP hot path and
+by worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Full budget check cadence, in DP ticks.  Checks cost a clock read
+#: and (when a node ceiling is set) a manager node count; every 64
+#: states is frequent enough to bound overshoot and cheap enough to be
+#: invisible next to the DP state cost.
+CHECK_EVERY = 64
+
+
+class BudgetExceeded(Exception):
+    """One supernode job ran past its :class:`Budget`.
+
+    Attributes
+    ----------
+    reason:
+        ``"deadline"`` (wall time) or ``"nodes"`` (BDD-node ceiling).
+    spent_s / spent_nodes:
+        Resources consumed at the moment of the breach.
+    """
+
+    def __init__(self, reason: str, spent_s: float, spent_nodes: int) -> None:
+        self.reason = reason
+        self.spent_s = spent_s
+        self.spent_nodes = spent_nodes
+        super().__init__(
+            f"budget exceeded ({reason}): spent {spent_s:.3f}s, {spent_nodes} BDD nodes"
+        )
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource bounds for one supernode job; ``None`` disables an axis."""
+
+    deadline_s: Optional[float] = None
+    max_nodes: Optional[int] = None
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any axis is actually limited."""
+        return self.deadline_s is not None or self.max_nodes is not None
+
+    def meter(self, forced_breach: bool = False) -> "BudgetMeter":
+        """A fresh meter with its clock starting now."""
+        return BudgetMeter(self, forced_breach=forced_breach)
+
+
+class BudgetMeter:
+    """One execution's running budget state.
+
+    ``forced_breach`` makes the very next :meth:`check` raise a
+    ``"nodes"`` breach regardless of actual consumption — the hook the
+    ``blowup`` fault (:mod:`repro.resilience.faults`) uses to simulate a
+    BDD blow-up deterministically.
+    """
+
+    def __init__(self, budget: Budget, forced_breach: bool = False) -> None:
+        self.budget = budget
+        self.t0 = time.monotonic()
+        self._ticks = 0
+        self._forced = forced_breach
+        self._node_count: Optional[Callable[[], int]] = None
+
+    def bind_node_source(self, node_count: Callable[[], int]) -> None:
+        """Attach the node counter of the DP's private manager.
+
+        The synthesizer reorders the function into a fresh manager
+        before the DP starts, so the meter cannot know the right
+        manager at construction time; the DP binds it (and runs an
+        eager :meth:`check`) as soon as it does.
+        """
+        self._node_count = node_count
+
+    def spent(self) -> "tuple[float, int]":
+        """``(seconds, nodes)`` consumed so far."""
+        nodes = self._node_count() if self._node_count is not None else 0
+        return (time.monotonic() - self.t0, nodes)
+
+    def tick(self) -> None:
+        """Hot-path probe: full check every :data:`CHECK_EVERY` calls."""
+        self._ticks += 1
+        if not self._ticks % CHECK_EVERY:
+            self.check()
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if any bound is breached."""
+        spent_s, spent_nodes = self.spent()
+        if self._forced:
+            raise BudgetExceeded("nodes", spent_s, spent_nodes)
+        deadline = self.budget.deadline_s
+        if deadline is not None and spent_s > deadline:
+            raise BudgetExceeded("deadline", spent_s, spent_nodes)
+        ceiling = self.budget.max_nodes
+        if ceiling is not None and spent_nodes > ceiling:
+            raise BudgetExceeded("nodes", spent_s, spent_nodes)

@@ -10,8 +10,13 @@ provides an equivalent engine that
 * memoizes supernode DP emissions in a persistent content-addressed
   on-disk cache keyed by a canonical BDD signature
   (:mod:`repro.runtime.cache`, :mod:`repro.runtime.signature`), and
-* reports per-stage/per-wavefront telemetry
-  (:mod:`repro.runtime.stats`).
+* reports per-stage/per-wavefront telemetry and recovered-failure rows
+  (:mod:`repro.runtime.stats`), and
+* survives worker death, budget breaches and cache corruption: jobs run
+  under :class:`repro.resilience.Budget` guards, the pool respawns and
+  retries (ultimately falling back to in-process serial execution), and
+  breached jobs are resynthesized via the degradation ladder
+  (:mod:`repro.resilience.ladder`).
 
 The engine is engaged by the ``synth`` pass of the
 :mod:`repro.flow` pipeline when ``DDBDDConfig.jobs != 1`` or
@@ -29,7 +34,14 @@ from repro.runtime.emission import (
     replay_record,
     verify_record,
 )
-from repro.runtime.pool import JobRunner, SupernodeJob, run_supernode_job
+from repro.runtime.pool import (
+    JobOutcome,
+    JobRunner,
+    PoolFailureEvent,
+    SupernodeJob,
+    run_supernode_job,
+    run_supernode_job_guarded,
+)
 from repro.runtime.schedule import (
     WaveLevel,
     WavePlan,
@@ -45,20 +57,24 @@ from repro.runtime.signature import (
     rebuild_dag,
     signature,
 )
-from repro.runtime.stats import RuntimeStats
+from repro.runtime.stats import FailureReport, RuntimeStats
 
 __all__ = [
     "DEFAULT_MAX_ENTRIES",
     "EmissionCache",
     "EmissionCell",
     "EmissionRecord",
+    "FailureReport",
     "RecordError",
     "export_emission",
     "replay_record",
     "verify_record",
+    "JobOutcome",
     "JobRunner",
+    "PoolFailureEvent",
     "SupernodeJob",
     "run_supernode_job",
+    "run_supernode_job_guarded",
     "WaveLevel",
     "WavePlan",
     "plan_wavefronts",

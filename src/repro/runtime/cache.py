@@ -26,13 +26,17 @@ processes.  Callers that want defense in depth re-verify hits with
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import List, Optional, Union
 
+from repro.resilience import faults as fault_mod
 from repro.runtime.emission import EmissionRecord, RecordError
 from repro.runtime.signature import SIGNATURE_VERSION
+
+logger = logging.getLogger(__name__)
 
 #: Enforce the LRU cap once per this many puts (amortizes the scan).
 _EVICT_EVERY = 64
@@ -61,6 +65,9 @@ class EmissionCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: Corrupted shards encountered (and healed by unlinking) on
+        #: reads.  Each also counts as a miss.
+        self.corruptions = 0
         self._puts_since_evict = 0
 
     def path_for(self, key: str) -> Path:
@@ -80,7 +87,9 @@ class EmissionCache:
             record = EmissionRecord.from_json_obj(json.loads(raw))
         except (ValueError, RecordError):
             # Corrupted shard: drop it so the slot heals on next put.
+            logger.debug("unlinking corrupted cache shard %s", path)
             self._unlink(path)
+            self.corruptions += 1
             self.misses += 1
             return None
         self._touch(path)
@@ -100,6 +109,11 @@ class EmissionCache:
             except BaseException:
                 self._unlink(Path(tmp))
                 raise
+            if fault_mod.note_put():
+                # Injected torn write (corrupt_shard@put=N): truncate the
+                # shard we just committed; the next read must detect and
+                # heal it.
+                path.write_text('{"cells": [[', encoding="utf-8")
         except OSError:
             return False
         self.puts += 1
@@ -115,10 +129,17 @@ class EmissionCache:
 
     # ------------------------------------------------------------------
     def entries(self) -> List[Path]:
-        """All record files currently in the store."""
+        """All record files currently in the store.
+
+        Tolerant of concurrent writers/deleters: a shard directory
+        vanishing mid-scan yields a partial listing, never an error.
+        """
         if not self.base.is_dir():
             return []
-        return [p for p in self.base.glob("*/*.json")]
+        try:
+            return [p for p in self.base.glob("*/*.json")]
+        except OSError:
+            return []
 
     def __len__(self) -> int:
         return len(self.entries())

@@ -26,7 +26,9 @@ Two defenses keep IPC overhead from wiping out the parallel win:
 * the requested job count is clamped to ``os.cpu_count()`` — the DP is
   CPU-bound pure Python, so oversubscribing cores only adds pickle and
   context-switch cost (and a one-core host degrades to plain inline
-  execution, making ``jobs=N`` cost the same as ``jobs=1``);
+  execution, making ``jobs=N`` cost the same as ``jobs=1``).  The clamp
+  is lifted while a fault plan is active, so worker-death recovery is
+  exercisable even on a one-core host;
 * a batch is split into at most one *chunk per worker* (longest-
   processing-time-first over canonical DAG sizes) and each chunk ships
   as a single pool task, so a 30-supernode wavefront costs 4 round
@@ -34,12 +36,24 @@ Two defenses keep IPC overhead from wiping out the parallel win:
 
 Chunking never changes results: jobs are pure functions of their
 payload, and the scatter/gather preserves batch order.
+
+Resilience (PR 5): :func:`run_supernode_job_guarded` wraps the job in
+its :class:`~repro.resilience.budget.Budget` and the active
+:class:`~repro.resilience.faults.FaultPlan`'s injection points, turning
+a breach into a clean :class:`JobOutcome` instead of a traceback.
+:meth:`JobRunner.run_batch_outcomes` survives worker death
+(``BrokenProcessPool`` or any executor failure): the pool is respawned
+and failed chunks are retried with bounded exponential backoff, falling
+back to in-process serial execution after ``max_retries`` — results
+stay cell-for-cell identical to a clean run, with each recovery logged
+in :attr:`JobRunner.failure_events`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -47,13 +61,22 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.config import DDBDDConfig
 from repro.core.dp import BDDSynthesizer
 from repro.network.netlist import BooleanNetwork
+from repro.resilience import faults as fault_mod
+from repro.resilience.budget import Budget, BudgetExceeded, BudgetMeter
 from repro.runtime.emission import EmissionRecord, export_emission
 from repro.runtime.signature import CanonicalDAG, dag_size, rebuild_dag, signature
 
 
 @dataclass(frozen=True)
 class SupernodeJob:
-    """One supernode DP instance, decoupled from the owning network."""
+    """One supernode DP instance, decoupled from the owning network.
+
+    ``seq`` / ``deadline_s`` / ``node_budget`` are *execution* metadata
+    — the deterministic 1-based job number (fault-plan addressing) and
+    the per-job budget — and deliberately not part of
+    :meth:`signature`: they do not change what the DP computes, only
+    whether it is allowed to finish.
+    """
 
     name: str
     dag: CanonicalDAG
@@ -65,6 +88,9 @@ class SupernodeJob:
     reorder_effort: str
     timing_aware_reorder: bool
     verify_emission: bool
+    seq: int = 0
+    deadline_s: Optional[float] = None
+    node_budget: Optional[int] = None
 
     @staticmethod
     def from_config(
@@ -73,6 +99,7 @@ class SupernodeJob:
         arrivals: Sequence[int],
         polarities: Sequence[bool],
         config: DDBDDConfig,
+        seq: int = 0,
     ) -> "SupernodeJob":
         return SupernodeJob(
             name=name,
@@ -85,6 +112,9 @@ class SupernodeJob:
             reorder_effort=config.reorder_effort,
             timing_aware_reorder=config.timing_aware_reorder,
             verify_emission=config.verify_emission,
+            seq=seq,
+            deadline_s=config.job_deadline_s,
+            node_budget=config.job_node_budget,
         )
 
     def signature(self) -> str:
@@ -100,13 +130,49 @@ class SupernodeJob:
             self.timing_aware_reorder,
         )
 
+    @property
+    def budget(self) -> Budget:
+        """This job's execution budget (possibly unbounded)."""
+        return Budget(deadline_s=self.deadline_s, max_nodes=self.node_budget)
 
-def run_supernode_job(job: SupernodeJob) -> EmissionRecord:
-    """Worker entry point: run the DP and export the emission.
 
-    Runs in a worker process (or in-process for serial execution); must
-    touch nothing but the job payload.
+@dataclass(frozen=True)
+class JobOutcome:
+    """Result of one guarded job execution: a record, or a clean breach.
+
+    ``breach_reason`` is empty on success, else ``"deadline"`` or
+    ``"nodes"`` with the budget spent at the breach — everything the
+    degradation ladder needs to resynthesize the supernode.
     """
+
+    record: Optional[EmissionRecord]
+    breach_reason: str = ""
+    spent_s: float = 0.0
+    spent_nodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+
+@dataclass(frozen=True)
+class PoolFailureEvent:
+    """One observed worker-pool failure and how it was recovered.
+
+    ``action`` is ``"respawn"`` (pool reset, chunk retried) or
+    ``"serial"`` (retries exhausted, chunk ran in-process).
+    """
+
+    seqs: Tuple[int, ...]
+    names: Tuple[str, ...]
+    error: str
+    attempt: int
+    action: str
+
+
+def _execute_job(job: SupernodeJob, meter: Optional[BudgetMeter]) -> EmissionRecord:
+    """Run the DP for one job (optionally metered) and export the
+    emission.  Must touch nothing but the job payload."""
     mgr, func = rebuild_dag(job.dag)
     n = job.dag.num_vars
     config = DDBDDConfig(
@@ -118,6 +184,7 @@ def run_supernode_job(job: SupernodeJob) -> EmissionRecord:
         verify=job.verify_emission,
         jobs=1,
         cache="off",
+        faults=None,
     )
     input_delays = {i: job.arrivals[i] for i in range(n)}
     scratch = BooleanNetwork(f"{job.name}_scratch")
@@ -128,7 +195,7 @@ def run_supernode_job(job: SupernodeJob) -> EmissionRecord:
         scratch.add_pi(pi)
         leaf_signals[i] = (pi, job.polarities[i], job.arrivals[i])
         leaf_ref[pi] = pi
-    synth = BDDSynthesizer(mgr, func, input_delays, config)
+    synth = BDDSynthesizer(mgr, func, input_delays, config, meter=meter)
     result = synth.emit(scratch, leaf_signals, prefix="sn")
     return export_emission(
         scratch,
@@ -141,10 +208,46 @@ def run_supernode_job(job: SupernodeJob) -> EmissionRecord:
     )
 
 
+def run_supernode_job(job: SupernodeJob) -> EmissionRecord:
+    """Worker entry point: run the DP and export the emission.
+
+    The legacy unguarded path — no budget, no fault injection.  Runs in
+    a worker process (or in-process for serial execution); must touch
+    nothing but the job payload.
+    """
+    return _execute_job(job, None)
+
+
+def run_supernode_job_guarded(job: SupernodeJob) -> JobOutcome:
+    """Guarded worker entry point: budget-metered and fault-injected.
+
+    The meter starts *before* the job-site faults fire, so an injected
+    stall burns the job's real deadline exactly like an organic hang
+    would.  A budget breach returns a clean breach outcome; injected
+    crashes/raises escape to the executor (that is their job).
+    """
+    forced = fault_mod.forced_blowup(job.seq)
+    budget = job.budget
+    meter: Optional[BudgetMeter] = None
+    if forced or budget.bounded:
+        meter = budget.meter(forced_breach=forced)
+    fault_mod.fire_job_faults(job.seq)
+    try:
+        record = _execute_job(job, meter)
+    except BudgetExceeded as exc:
+        return JobOutcome(None, exc.reason, exc.spent_s, exc.spent_nodes)
+    return JobOutcome(record)
+
+
 def run_supernode_jobs(jobs: Sequence[SupernodeJob]) -> List[EmissionRecord]:
     """Run a chunk of jobs in one worker round trip (see chunking notes
     in the module docstring)."""
     return [run_supernode_job(job) for job in jobs]
+
+
+def run_supernode_jobs_guarded(jobs: Sequence[SupernodeJob]) -> List[JobOutcome]:
+    """Guarded chunk entry point (one worker round trip per chunk)."""
+    return [run_supernode_job_guarded(job) for job in jobs]
 
 
 def chunk_jobs(
@@ -166,29 +269,131 @@ def chunk_jobs(
 
 
 class JobRunner:
-    """Runs job batches serially or on a persistent process pool."""
+    """Runs job batches serially or on a fault-tolerant process pool."""
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        clamp: bool = True,
+    ) -> None:
         if jobs < 1:
             raise ValueError("JobRunner needs at least one worker")
         self.jobs = jobs
         # CPU-bound pure-Python work: more workers than cores is pure
-        # overhead, so the pool never grows past the machine.
-        self.workers = min(jobs, os.cpu_count() or 1)
+        # overhead, so the pool never grows past the machine — unless
+        # the caller lifts the clamp (fault-injection runs must exercise
+        # real worker processes even on a one-core host).
+        self.workers = min(jobs, os.cpu_count() or 1) if clamp else jobs
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        #: Pool failures observed and recovered, in order.
+        self.failure_events: List[PoolFailureEvent] = []
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def run_batch(self, batch: Sequence[SupernodeJob]) -> List[EmissionRecord]:
-        """Execute one wavefront's jobs; results in batch order."""
+        """Execute one wavefront's jobs; records in batch order.
+
+        The record-only legacy interface: jobs are expected to complete
+        within budget (callers that attach budgets and a degradation
+        ladder use :meth:`run_batch_outcomes` instead).
+        """
+        outcomes = self.run_batch_outcomes(batch)
+        breached = [
+            f"{batch[i].name} ({o.breach_reason})"
+            for i, o in enumerate(outcomes)
+            if not o.ok
+        ]
+        if breached:
+            raise RuntimeError(
+                "supernode job(s) breached their execution budget with no "
+                f"degradation ladder attached: {', '.join(breached)}"
+            )
+        return [o.record for o in outcomes if o.record is not None]
+
+    def run_batch_outcomes(self, batch: Sequence[SupernodeJob]) -> List[JobOutcome]:
+        """Execute one wavefront's jobs; outcomes in batch order.
+
+        Survives worker death: failed chunks are retried on a respawned
+        pool with bounded exponential backoff, then run in-process once
+        ``max_retries`` is exhausted.
+        """
+        indices = list(range(len(batch)))
         if self.workers == 1 or len(batch) <= 1:
-            return [run_supernode_job(job) for job in batch]
+            return self._run_inline(indices, batch)
         groups = chunk_jobs(batch, self.workers)
-        chunks = [[batch[i] for i in group] for group in groups]
-        results: List[Optional[EmissionRecord]] = [None] * len(batch)
-        for group, records in zip(groups, self._pool().map(run_supernode_jobs, chunks)):
-            for i, record in zip(group, records):
-                results[i] = record
-        assert all(r is not None for r in results)
+        results: List[Optional[JobOutcome]] = [None] * len(batch)
+        pending = groups
+        attempt = 0
+        while pending:
+            futures = [
+                (g, self._pool().submit(run_supernode_jobs_guarded,
+                                        [batch[i] for i in g]))
+                for g in pending
+            ]
+            failed: List[List[int]] = []
+            first_error: Optional[BaseException] = None
+            for g, fut in futures:
+                try:
+                    outcomes = fut.result()
+                except Exception as exc:  # BrokenProcessPool, pickling, ...
+                    failed.append(g)
+                    if first_error is None:
+                        first_error = exc
+                else:
+                    for i, outcome in zip(g, outcomes):
+                        results[i] = outcome
+            if not failed:
+                break
+            attempt += 1
+            flat = [i for g in failed for i in g]
+            seqs = tuple(batch[i].seq for i in flat)
+            names = tuple(batch[i].name for i in flat)
+            # The dead pool is the observed effect of any crash faults on
+            # these jobs: disarm them before respawning, so the fresh
+            # forks inherit a plan that lets the retry run clean.
+            fault_mod.notify_pool_failure(seqs)
+            self._reset_pool()
+            if attempt > self.max_retries:
+                self.failure_events.append(PoolFailureEvent(
+                    seqs, names, repr(first_error), attempt, "serial"
+                ))
+                for i, outcome in zip(flat, self._run_inline(flat, batch)):
+                    results[i] = outcome
+                break
+            self.failure_events.append(PoolFailureEvent(
+                seqs, names, repr(first_error), attempt, "respawn"
+            ))
+            time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            pending = failed
+        missing = [batch[i].name for i, r in enumerate(results) if r is None]
+        if missing:
+            # Never let a None outcome escape: an assert here would
+            # vanish under ``python -O`` and surface later as an opaque
+            # attribute error on a None record.
+            raise RuntimeError(
+                f"pool execution lost result(s) for job(s): {', '.join(missing)}"
+            )
         return results  # type: ignore[return-value]
+
+    def _run_inline(
+        self, indices: Sequence[int], batch: Sequence[SupernodeJob]
+    ) -> List[JobOutcome]:
+        """Guarded in-process execution with bounded in-place retries
+        (the serial-fallback and one-worker path; transient injected
+        raises are retried here exactly like pool retries would)."""
+        outcomes: List[JobOutcome] = []
+        for i in indices:
+            job = batch[i]
+            for attempt in range(self.max_retries + 1):
+                try:
+                    outcomes.append(run_supernode_job_guarded(job))
+                    break
+                except Exception:
+                    if attempt >= self.max_retries:
+                        raise
+        return outcomes
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -200,6 +405,15 @@ class JobRunner:
                 max_workers=self.workers, mp_context=ctx
             )
         return self._executor
+
+    def _reset_pool(self) -> None:
+        """Tear down a (possibly broken) pool; the next batch respawns it."""
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken-pool teardown
+                pass
+            self._executor = None
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""

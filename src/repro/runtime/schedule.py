@@ -36,11 +36,18 @@ from repro.core.config import DDBDDConfig
 from repro.core.dp import SupernodeResult
 from repro.network.depth import topological_order
 from repro.network.netlist import BooleanNetwork
+from repro.resilience import faults as fault_mod
+from repro.resilience.ladder import resynthesize
 from repro.runtime.cache import EmissionCache
 from repro.runtime.emission import EmissionRecord, replay_record, verify_record
-from repro.runtime.pool import JobRunner, SupernodeJob, run_supernode_job
+from repro.runtime.pool import (
+    JobOutcome,
+    JobRunner,
+    SupernodeJob,
+    run_supernode_job_guarded,
+)
 from repro.runtime.signature import CanonicalDAG, dag_size, export_dag
-from repro.runtime.stats import RuntimeStats
+from repro.runtime.stats import FailureReport, RuntimeStats
 
 KIND_CONST = "const"
 KIND_LITERAL = "literal"
@@ -181,6 +188,24 @@ def run_wavefronts(
     return state.supernode_results
 
 
+def _recover_breach(
+    job: SupernodeJob, outcome: JobOutcome, stats: RuntimeStats
+) -> EmissionRecord:
+    """Resynthesize a budget-breached job down the degradation ladder.
+
+    The job's faults are disarmed first — the breach has been observed,
+    and re-firing a stall/crash on the ladder's clean retry would turn
+    one injected fault into an unrecoverable loop.  Returns the
+    verified (possibly degraded) record and logs the
+    :class:`FailureReport` row.
+    """
+    fault_mod.disarm_job(job.seq)
+    with stats.stage("ladder"):
+        record, report = resynthesize(job, outcome)
+    stats.failures.append(report)
+    return record
+
+
 def wavefront_supernodes(
     work: BooleanNetwork,
     mapped: BooleanNetwork,
@@ -214,7 +239,13 @@ def wavefront_supernodes(
     # boundary; with neither boundary it is ~15% pure overhead, so run
     # the contractually-identical serial loop instead (wavefront
     # telemetry above is kept — the plan is the same either way).
-    if cache is None and min(config.effective_jobs, os.cpu_count() or 1) == 1:
+    # Resilience runs (budgets or fault injection) always take the
+    # guarded engine below, whatever the worker count.
+    if (
+        cache is None
+        and not config.resilience_active
+        and min(config.effective_jobs, os.cpu_count() or 1) == 1
+    ):
         from repro.core.ddbdd import serial_supernodes
 
         with stats.stage("dp"):
@@ -227,12 +258,27 @@ def wavefront_supernodes(
     # Phase A: per-signal (negated, depth) without touching `mapped`.
     vres: Dict[str, Tuple[bool, int]] = {pi: (False, 0) for pi in work.pis}
     jobinfo: Dict[str, Tuple[CanonicalDAG, EmissionRecord]] = {}
+    # Deterministic 1-based job numbering in wavefront order — the
+    # address space of the fault plan.  Cache hits consume a seq too,
+    # so a plan stays stable under a warm cache... but note a hit means
+    # the addressed job never executes, and its faults never fire.
+    seq_counter = 0
 
-    with JobRunner(config.effective_jobs) as runner:
+    # The plan (if any) is installed for all of phase A so worker forks
+    # inherit it; the clamp on the runner is lifted under a plan, so
+    # crash/stall faults exercise real worker processes even on a
+    # one-core host.
+    with fault_mod.activated(config.faults), JobRunner(
+        config.effective_jobs,
+        max_retries=config.pool_max_retries,
+        backoff_s=config.pool_retry_backoff_s,
+        clamp=config.faults is None,
+    ) as runner:
         for wave in plan.levels:
             pending: List[Tuple[str, SupernodeJob, Optional[str]]] = []
             for name in wave.jobs:
                 node = work.nodes[name]
+                seq_counter += 1
                 with stats.stage("signature"):
                     dag = export_dag(work.mgr, node.func)
                     fanin_by_var = {work.var_of(f): f for f in node.fanins}
@@ -242,7 +288,9 @@ def wavefront_supernodes(
                         neg, depth = vres[fanin_by_var[var]]
                         polarities.append(neg)
                         arrivals.append(depth)
-                    job = SupernodeJob.from_config(name, dag, arrivals, polarities, config)
+                    job = SupernodeJob.from_config(
+                        name, dag, arrivals, polarities, config, seq=seq_counter
+                    )
                     key = job.signature() if cache is not None else None
                 record: Optional[EmissionRecord] = None
                 if cache is not None and readable and key is not None:
@@ -263,16 +311,26 @@ def wavefront_supernodes(
             if pending:
                 batch = [job for _, job, _ in pending]
                 with stats.stage("dp"):
-                    if sum(dag_size(job.dag) for job in batch) < MIN_POOL_WORK:
-                        records = [run_supernode_job(job) for job in batch]
+                    if (
+                        not fault_mod.is_active()
+                        and sum(dag_size(job.dag) for job in batch) < MIN_POOL_WORK
+                    ):
+                        outcomes = [run_supernode_job_guarded(job) for job in batch]
                     else:
-                        records = runner.run_batch(batch)
-                for (name, job, key), record in zip(pending, records):
+                        outcomes = runner.run_batch_outcomes(batch)
+                for (name, job, key), outcome in zip(pending, outcomes):
+                    if outcome.ok:
+                        record = outcome.record
+                        if cache is not None and writable and key is not None:
+                            with stats.stage("cache"):
+                                if cache.put(key, record):
+                                    stats.cache_puts += 1
+                    else:
+                        record = _recover_breach(job, outcome, stats)
+                        # Deliberately never cached: a ladder output
+                        # stored under the clean signature would poison
+                        # later runs.
                     jobinfo[name] = (job.dag, record)
-                    if cache is not None and writable and key is not None:
-                        with stats.stage("cache"):
-                            if cache.put(key, record):
-                                stats.cache_puts += 1
             # Resolve polarities/depths for this level (jobs first, then
             # pass-through nodes that may read them).
             for name in wave.jobs:
@@ -286,6 +344,17 @@ def wavefront_supernodes(
                     src, lit_neg = classify_node(work, name)[1]  # type: ignore[misc]
                     src_neg, src_depth = vres[src]
                     vres[name] = (src_neg ^ lit_neg, src_depth)
+        for event in runner.failure_events:
+            stats.failures.append(FailureReport(
+                job=",".join(event.names),
+                seq=min(event.seqs, default=0),
+                kind="pool",
+                reason=event.error,
+                retries=event.attempt,
+                rung=event.action,
+            ))
+    if cache is not None:
+        stats.cache_corruptions += cache.corruptions
 
     # Phase B: splice in the serial topological order.
     supernode_results: List[SupernodeResult] = []

@@ -26,6 +26,72 @@ from typing import Dict, Iterator, List
 
 
 @dataclass
+class FailureReport:
+    """One recovered runtime failure (see :mod:`repro.resilience`).
+
+    Attributes
+    ----------
+    job:
+        Supernode name(s) involved (comma-joined for pool failures that
+        took a whole chunk down).
+    seq:
+        The job's deterministic 1-based sequence number (the smallest in
+        the chunk for pool failures).
+    kind:
+        ``"budget"`` (the job breached its :class:`~repro.resilience.
+        budget.Budget` and went down the degradation ladder) or
+        ``"pool"`` (a worker died and the chunk was retried/serialized).
+    reason:
+        Breach axis (``"deadline"`` / ``"nodes"``) for budget failures;
+        the observed executor error for pool failures.
+    retries:
+        Re-execution attempts spent recovering (ladder rungs tried, or
+        pool respawn rounds).
+    rung:
+        For budget failures, the degradation-ladder rung that produced
+        the final cover (``"retry"`` means the clean re-run succeeded
+        and nothing was degraded).  For pool failures, the recovery
+        action (``"respawn"`` or ``"serial"``).
+    spent_s / spent_nodes:
+        Budget consumed at the moment of the breach.
+    verified:
+        Whether the recovered cover passed re-verification.
+    """
+
+    job: str
+    seq: int
+    kind: str
+    reason: str
+    retries: int
+    rung: str = ""
+    spent_s: float = 0.0
+    spent_nodes: int = 0
+    verified: bool = True
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of this row."""
+        return {
+            "job": self.job,
+            "seq": self.seq,
+            "kind": self.kind,
+            "reason": self.reason,
+            "retries": self.retries,
+            "rung": self.rung,
+            "spent_s": round(self.spent_s, 4),
+            "spent_nodes": self.spent_nodes,
+            "verified": self.verified,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable summary (for ``--stats``)."""
+        tail = f" rung={self.rung}" if self.rung else ""
+        return (
+            f"{self.kind} failure job={self.job} seq={self.seq} "
+            f"reason={self.reason} retries={self.retries}{tail}"
+        )
+
+
+@dataclass
 class PassTelemetry:
     """Telemetry of one executed pipeline pass.
 
@@ -36,7 +102,8 @@ class PassTelemetry:
     a pass that swaps in a fresh network legitimately shrinks them).
     ``rss_peak_kb`` is ``ru_maxrss`` after the pass (0 where the
     :mod:`resource` module is unavailable); ``rss_delta_kb`` its growth
-    across the pass.
+    across the pass.  ``failures`` counts the :class:`FailureReport`
+    rows the pass added (recovered faults/budget breaches).
     """
 
     name: str
@@ -47,6 +114,7 @@ class PassTelemetry:
     bdd_nodes_created: int = 0
     bdd_cache_hits: int = 0
     bdd_cache_misses: int = 0
+    failures: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -66,6 +134,7 @@ class PassTelemetry:
             "bdd_cache_hits": self.bdd_cache_hits,
             "bdd_cache_misses": self.bdd_cache_misses,
             "bdd_cache_hit_rate": round(self.cache_hit_rate, 4),
+            "failures": self.failures,
         }
 
 
@@ -99,6 +168,14 @@ class RuntimeStats:
     cache_rejected:
         Cached emissions rejected by re-verification (treated as
         misses).
+    cache_corruptions:
+        Corrupted cache shards encountered and healed (unlinked) during
+        reads.
+    failures:
+        One :class:`FailureReport` row per recovered runtime failure
+        (budget breaches resynthesized via the degradation ladder,
+        worker-pool deaths recovered by respawn/retry or serial
+        fallback); empty on a clean run.
     """
 
     jobs: int = 1
@@ -111,6 +188,8 @@ class RuntimeStats:
     cache_misses: int = 0
     cache_puts: int = 0
     cache_rejected: int = 0
+    cache_corruptions: int = 0
+    failures: List[FailureReport] = field(default_factory=list)
 
     def add_stage(self, name: str, seconds: float) -> None:
         """Accumulate wall time into stage ``name``."""
@@ -142,6 +221,8 @@ class RuntimeStats:
             "cache_misses": self.cache_misses,
             "cache_puts": self.cache_puts,
             "cache_rejected": self.cache_rejected,
+            "cache_corruptions": self.cache_corruptions,
+            "failures": [f.as_dict() for f in self.failures],
         }
 
     def render(self) -> str:
@@ -170,6 +251,11 @@ class RuntimeStats:
         if self.cache_mode != "off":
             lines.append(
                 f"  cache hits={self.cache_hits} misses={self.cache_misses} "
-                f"puts={self.cache_puts} rejected={self.cache_rejected}"
+                f"puts={self.cache_puts} rejected={self.cache_rejected} "
+                f"corruptions={self.cache_corruptions}"
             )
+        if self.failures:
+            lines.append(f"  failures recovered: {len(self.failures)}")
+            for report in self.failures:
+                lines.append(f"    {report.render()}")
         return "\n".join(lines)

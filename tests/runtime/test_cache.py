@@ -75,6 +75,10 @@ def test_corrupted_shards_recover(tmp_path):
     assert net_dump(redo.network) == net_dump(serial.network)
     assert redo.runtime_stats.cache_hits == 0
     assert redo.runtime_stats.cache_misses == len(entries)
+    # Satellite (b): every damaged shard is counted as a healed
+    # corruption and surfaces in the run's stats (and --stats render).
+    assert redo.runtime_stats.cache_corruptions == len(entries)
+    assert f"corruptions={len(entries)}" in redo.runtime_stats.render()
     # The damaged files were dropped and rewritten with good content.
     warm = ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
     assert warm.runtime_stats.cache_misses == 0
@@ -152,3 +156,92 @@ def test_cache_garbage_payload_is_a_miss(tmp_path):
     path.write_text(json.dumps({"cells": [[["q9"], "01"]], "out": ["c0", 0, 1], "stats": [0, 0, 1]}))
     assert cache.get(key) is None
     assert not path.exists(), "structurally invalid record must be unlinked"
+    assert cache.corruptions == 1
+    assert cache.misses == 1
+
+
+def test_cache_corruptions_counter_accumulates(tmp_path):
+    cache = EmissionCache(tmp_path)
+    keys = [f"{i:02x}" + "0" * 62 for i in range(3)]
+    for key in keys:
+        assert cache.put(key, _record())
+        cache.path_for(key).write_text('{"cells": [[', encoding="utf-8")
+    assert all(cache.get(key) is None for key in keys)
+    assert cache.corruptions == 3
+    # The slots healed: a fresh put + get round-trips again.
+    assert cache.put(keys[0], _record())
+    assert cache.get(keys[0]) == _record()
+    assert cache.corruptions == 3
+
+
+# ----------------------------------------------------------------------
+# Concurrency: eviction and listing racing puts/unlinks (satellite c)
+# ----------------------------------------------------------------------
+def test_evict_survives_racing_deleter(tmp_path, monkeypatch):
+    # Deterministic re-enactment of the race: another process unlinks
+    # entries after evict_to_cap has listed them — both the stat() for
+    # the LRU sort and the final unlink must hit missing files without
+    # raising, and the cap must still be met.
+    cache = EmissionCache(tmp_path, max_entries=2)
+    keys = [f"{i:02x}" + f"{i:060x}" for i in range(8)]
+    for i, key in enumerate(keys):
+        assert cache.put(key, _record(i))
+
+    real_entries = cache.entries
+    def racing_entries():
+        listed = real_entries()
+        # A concurrent deleter removes half the listed files before the
+        # evictor gets to stat/unlink them.
+        for path in listed[::2]:
+            path.unlink()
+        return listed
+    monkeypatch.setattr(cache, "entries", racing_entries)
+    cache.evict_to_cap()  # must not raise
+    monkeypatch.setattr(cache, "entries", real_entries)
+    assert len(cache) <= 2
+
+
+def test_entries_survives_vanishing_shard_dir(tmp_path):
+    import shutil
+
+    cache = EmissionCache(tmp_path)
+    key = "ef" + "0" * 62
+    assert cache.put(key, _record())
+    assert len(cache.entries()) == 1
+    shutil.rmtree(cache.base)
+    assert cache.entries() == []
+    assert len(cache) == 0
+
+
+def test_cache_threaded_puts_against_eviction(tmp_path):
+    # Satellite (c): hammer one store from a writer thread (puts +
+    # invalidations) while the main thread loops eviction and listing.
+    # The contract is crash-freedom and cap enforcement, not a specific
+    # surviving set.
+    import threading
+
+    cache = EmissionCache(tmp_path, max_entries=8)
+    errors = []
+
+    def writer():
+        try:
+            for i in range(120):
+                key = f"{i % 16:02x}" + f"{i:060x}"
+                cache.put(key, _record(i))
+                if i % 3 == 0:
+                    cache.invalidate(key)
+        except Exception as exc:  # pragma: no cover - the test's point
+            errors.append(exc)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(200):
+            cache.evict_to_cap()
+            cache.entries()
+            len(cache)
+    finally:
+        thread.join()
+    assert not errors, f"writer thread crashed: {errors}"
+    cache.evict_to_cap()
+    assert len(cache) <= 8
