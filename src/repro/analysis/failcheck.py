@@ -32,7 +32,25 @@ DEGRADED_RUNGS = ("tighten", "plain", "shannon")
 
 
 def check_failure_reports(reports: Iterable[FailureReport]) -> List[Diagnostic]:
-    """Structured diagnostics for a run's recovered failures."""
+    """Structured diagnostics for a run's recovered failures.
+
+    Trigger conditions (evaluated per :class:`FailureReport` row):
+
+    * ``DD402`` (error) — triggers when ``report.verified`` is false:
+      a recovered cover failed re-verification, whatever the failure
+      kind.  Checked first; such a row produces no other code.
+    * ``DD403`` (warning) — triggers when ``report.kind == "budget"``:
+      a supernode job breached its deadline or node budget
+      (``report.reason`` names the axis) and was resynthesized.
+    * ``DD401`` (warning) — triggers when a budget row additionally
+      landed on a genuinely degraded ladder rung, i.e.
+      ``report.rung in DEGRADED_RUNGS`` (``tighten``/``plain``/
+      ``shannon``); a clean ``retry`` rung does not trigger it.
+      Always accompanies a ``DD403`` for the same job.
+    * ``DD404`` (warning) — triggers when ``report.kind == "pool"``:
+      a worker-pool failure (crash, lost result, executor error) was
+      recovered by respawn/retry or the in-process serial fallback.
+    """
     diags: List[Diagnostic] = []
     for report in reports:
         if not report.verified:

@@ -4,7 +4,9 @@ Run as ``python -m repro.analysis.repolint src/`` (any mix of files and
 directories).  Exit status is 0 when clean, 1 when findings exist, 2 on
 usage errors.  The rules are the repo's own coding contract, enforced in
 CI next to ruff/mypy; they are deliberately few and all stdlib-AST
-checkable:
+checkable (the shared machinery lives in
+:mod:`repro.analysis.astutil`; the determinism rules ``DD5xx`` live in
+:mod:`repro.analysis.detcheck`):
 
 ``RL000``
     File does not parse (``SyntaxError``); reported as a finding so the
@@ -33,6 +35,12 @@ checkable:
     ``from repro.flow.passes... import ...`` and
     ``from repro.flow import passes`` — anywhere in the file,
     including lazy imports inside functions.
+``RL006``
+    No stale suppressions: a ``# repolint: disable=RL00x`` comment
+    whose listed RL code suppresses nothing on that line (either the
+    finding it once silenced is gone, or the code was never a repolint
+    rule).  Codes of other analyzers (``DD5xx``) are ignored here —
+    detcheck owns those.
 
 Suppress a finding with a ``# repolint: disable=RL00x`` comment on the
 offending line (the ``def``/``except``/``import`` line).
@@ -41,10 +49,18 @@ offending line (the ``def``/``except``/``import`` line).
 from __future__ import annotations
 
 import ast
+import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Sequence, Set
+from typing import List, Sequence
+
+from repro.analysis.astutil import (
+    Finding,
+    apply_suppressions,
+    iter_sources,
+    parse_module,
+    suppression_comments,
+)
 
 RULES = {
     "RL000": "unparsable file",
@@ -53,79 +69,76 @@ RULES = {
     "RL003": "truth-table parameter without documented arity",
     "RL004": "public function not fully annotated",
     "RL005": "import of repro.flow.passes internals outside repro.flow",
+    "RL006": "stale repolint suppression",
 }
+
+#: Backwards-compatible alias: repolint findings are plain
+#: :class:`repro.analysis.astutil.Finding` rows since the toolkit split.
+LintFinding = Finding
 
 _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
 _TT_PARAM_NAMES = {"bits", "tt", "truth", "truth_table", "truth_bits"}
 _TT_DOC_TOKENS = ("2**", "2 **", "arity", "variable")
-_DISABLE_MARK = "repolint: disable="
 _FLOW_PASSES = "repro.flow.passes"
+#: Shape of a code RL006 takes responsibility for.  Anything else in a
+#: disable comment (a DD5xx code, prose caught by the docstring of a
+#: linter...) is not this rule's business.
+_RL_CODE_RE = re.compile(r"^RL\d{3}$")
 
 
-@dataclass(frozen=True)
-class LintFinding:
-    """One repolint finding, pointing at ``path:line:col``."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
-    """Lint one Python source text; returns all findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            LintFinding(
-                path, exc.lineno or 0, exc.offset or 0, "RL000", f"unparsable file: {exc.msg}"
-            )
-        ]
-    suppressed = _suppressed_lines(source)
-    findings: List[LintFinding] = []
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one Python source text; returns all unsuppressed findings."""
+    tree, syntax_finding = parse_module(source, path, syntax_code="RL000")
+    if tree is None:
+        return [syntax_finding] if syntax_finding is not None else []
+    findings: List[Finding] = []
     _walk(tree, path, findings, class_public=True, depth=0)
     if not _flow_exempt(path):
         _check_flow_imports(tree, path, findings)
-    return [
-        f
-        for f in findings
-        if f.code not in suppressed.get(f.line, set())
-    ]
+    comments = suppression_comments(source)
+    kept, used = apply_suppressions(findings, comments)
+    kept.extend(_check_stale_suppressions(path, comments, used))
+    return sorted(kept, key=lambda f: (f.line, f.col, f.code))
 
 
-def lint_paths(paths: Sequence[Path]) -> List[LintFinding]:
-    """Lint every ``.py`` file under the given files/directories."""
-    findings: List[LintFinding] = []
-    for file in sorted(_python_files(paths)):
-        findings.extend(lint_source(file.read_text(encoding="utf-8"), str(file)))
-    return findings
+def _check_stale_suppressions(
+    path: str, comments: dict, used: dict
+) -> List[Finding]:
+    """RL006 — disable comments whose RL codes silenced nothing.
 
-
-def _python_files(paths: Sequence[Path]) -> Iterable[Path]:
-    for p in paths:
-        if p.is_dir():
-            yield from p.rglob("*.py")
-        elif p.suffix == ".py":
-            yield p
-
-
-def _suppressed_lines(source: str) -> dict:
-    """Map line number -> set of rule codes disabled on that line."""
-    out: dict = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        if _DISABLE_MARK in line:
-            codes = line.split(_DISABLE_MARK, 1)[1]
-            out[i] = {c.strip() for c in codes.split(",") if c.strip() in RULES}
+    A line listing ``RL006`` itself opts out (that is how a stale-looking
+    comment kept deliberately, e.g. in documentation, is excused).
+    """
+    out: List[Finding] = []
+    for line, listed in sorted(comments.items()):
+        if "RL006" in listed:
+            continue
+        for code in listed:
+            if not _RL_CODE_RE.match(code):
+                continue
+            if code in used.get(line, set()):
+                continue
+            why = (
+                "suppresses nothing on this line"
+                if code in RULES
+                else "is not a repolint rule"
+            )
+            out.append(
+                Finding(path, line, 0, "RL006", f"{RULES['RL006']}: {code} {why}")
+            )
     return out
 
 
+def lint_paths(paths: Sequence[Path]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for file, text in iter_sources(paths):
+        findings.extend(lint_source(text, str(file)))
+    return findings
+
+
 def _walk(
-    node: ast.AST, path: str, findings: List[LintFinding], class_public: bool, depth: int
+    node: ast.AST, path: str, findings: List[Finding], class_public: bool, depth: int
 ) -> None:
     """Recurse, tracking whether the enclosing class chain is public and
     whether we are at module/class level (``depth`` counts enclosing
@@ -134,9 +147,7 @@ def _walk(
         if isinstance(child, ast.ExceptHandler):
             if child.type is None:
                 findings.append(
-                    LintFinding(
-                        path, child.lineno, child.col_offset, "RL002", RULES["RL002"]
-                    )
+                    Finding(path, child.lineno, child.col_offset, "RL002", RULES["RL002"])
                 )
             _walk(child, path, findings, class_public, depth)
         elif isinstance(child, ast.ClassDef):
@@ -157,7 +168,7 @@ def _walk(
 def _check_function(
     fn: "ast.FunctionDef | ast.AsyncFunctionDef",
     path: str,
-    findings: List[LintFinding],
+    findings: List[Finding],
     class_public: bool,
     depth: int,
 ) -> None:
@@ -168,7 +179,7 @@ def _check_function(
     for default in [*args.defaults, *[d for d in args.kw_defaults if d is not None]]:
         if _is_mutable_literal(default):
             findings.append(
-                LintFinding(path, default.lineno, default.col_offset, "RL001", RULES["RL001"])
+                Finding(path, default.lineno, default.col_offset, "RL001", RULES["RL001"])
             )
 
     # RL003 — truth-table parameters need a documented arity convention.
@@ -176,12 +187,13 @@ def _check_function(
         doc = ast.get_docstring(fn) or ""
         if not any(token in doc for token in _TT_DOC_TOKENS):
             findings.append(
-                LintFinding(
+                Finding(
                     path,
                     fn.lineno,
                     fn.col_offset,
                     "RL003",
                     f"{RULES['RL003']} (function {fn.name!r})",
+                    symbol=fn.name,
                 )
             )
 
@@ -202,12 +214,13 @@ def _check_function(
         problems.append("missing return annotation")
     if problems:
         findings.append(
-            LintFinding(
+            Finding(
                 path,
                 fn.lineno,
                 fn.col_offset,
                 "RL004",
                 f"{RULES['RL004']} (function {fn.name!r}: {'; '.join(problems)})",
+                symbol=fn.name,
             )
         )
 
@@ -219,7 +232,7 @@ def _flow_exempt(path: str) -> bool:
 
 
 def _check_flow_imports(
-    tree: ast.AST, path: str, findings: List[LintFinding]
+    tree: ast.AST, path: str, findings: List[Finding]
 ) -> None:
     """RL005 — scan the whole tree (lazy in-function imports included)
     for any spelling that binds a ``repro.flow.passes`` module."""
@@ -241,7 +254,7 @@ def _check_flow_imports(
             continue
         if hit:
             findings.append(
-                LintFinding(path, node.lineno, node.col_offset, "RL005", hint)
+                Finding(path, node.lineno, node.col_offset, "RL005", hint)
             )
 
 

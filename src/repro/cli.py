@@ -11,7 +11,10 @@ Subcommands
 ``vpr``      — run the VPR-like flow on a mapped BLIF file.
 ``check``    — run the IR invariant checkers on a circuit and report
                structured ``DDxxx`` diagnostics.
-``lint``     — run the project lint pass (``repro.analysis.repolint``).
+``lint``     — run the project lint pass (``repro.analysis.repolint``),
+               or the determinism analyzer with ``--det``
+               (``repro.analysis.detcheck``).
+``analyze``  — list every static analyzer and the codes it reports.
 """
 
 from __future__ import annotations
@@ -291,7 +294,8 @@ def main(argv: Optional[list] = None) -> int:
         "--synth",
         action="store_true",
         help="additionally run the synthesis pass pipeline at verify_level=2 "
-        "and report every verified pass boundary",
+        "and report every verified pass boundary (exit 1: verification "
+        "errors; exit 2: verified but with DD4xx findings/warnings)",
     )
     p.add_argument(
         "--passes",
@@ -302,8 +306,38 @@ def main(argv: Optional[list] = None) -> int:
     p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("lint", help="run the project lint pass (repolint)")
-    p.add_argument("paths", nargs="+", help="files or directories to lint")
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default with --det: src/repro)",
+    )
+    p.add_argument(
+        "--det",
+        action="store_true",
+        help="run the determinism & fork-safety analyzer (DD5xx) instead "
+        "of repolint",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as JSON (--det only)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="tolerate findings recorded in this baseline file (--det only)",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings (--det only)",
+    )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("analyze", help="list the static analyzers and their codes")
+    p.set_defaults(func=_cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.func(args)
@@ -344,6 +378,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.synth:
         # Drive the pass pipeline under full stage-boundary checking:
         # every pass boundary becomes a verified boundary.
+        from repro.analysis import check_failure_reports
         from repro.analysis.diagnostics import VerificationError
         from repro.flow import FlowState, build_pipeline, default_flow
 
@@ -367,13 +402,69 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"{len(state.verifier.stages_run)} stage boundary(ies), "
             f"{len(state.verifier.warnings)} warning(s)"
         )
+        # The run verified, but recovered-failure findings (DD4xx) may
+        # still warrant attention: exit 2 separates "verified with
+        # findings" from verification errors (1) and a clean pass (0).
+        findings = check_failure_reports(state.stats.failures)
+        for d in findings:
+            print(d.describe())
+        if errors_of(findings):
+            return 1
+        if findings or state.verifier.warnings:
+            return 2
     return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.det:
+        from repro.analysis.detcheck import main as detcheck_main
+
+        argv = list(args.paths)
+        if args.as_json:
+            argv.append("--json")
+        if args.update_baseline:
+            argv.append("--update-baseline")
+        if args.baseline:
+            argv += ["--baseline", args.baseline]
+        return detcheck_main(argv)
+    if args.as_json or args.baseline or args.update_baseline:
+        print("lint: --json/--baseline/--update-baseline need --det", file=sys.stderr)
+        return 2
+    if not args.paths:
+        print("lint: no paths given", file=sys.stderr)
+        return 2
     from repro.analysis.repolint import main as repolint_main
 
     return repolint_main(args.paths)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import DIAGNOSTIC_CODES
+    from repro.analysis.detcheck import RULES as DET_RULES
+    from repro.analysis.repolint import RULES as LINT_RULES
+
+    groups = [
+        (
+            "repolint",
+            "project hygiene gate over the source tree (ddbdd lint PATH...)",
+            LINT_RULES,
+        ),
+        (
+            "detcheck",
+            "determinism & fork-safety analyzer (ddbdd lint --det)",
+            DET_RULES,
+        ),
+        (
+            "netcheck/bddcheck/covercheck/failcheck",
+            "runtime IR and failure-report audits (ddbdd check CIRCUIT)",
+            DIAGNOSTIC_CODES,
+        ),
+    ]
+    for name, blurb, rules in groups:
+        print(f"{name}: {blurb}")
+        for code in sorted(rules):
+            print(f"  {code}  {rules[code]}")
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

@@ -55,7 +55,9 @@ from repro.flow.registry import (
     create_pass,
     default_flow,
     parse_flow,
+    pass_contracts,
     register_pass,
+    validate_pipeline,
 )
 from repro.flow.state import FlowState
 from repro.flow import passes as _passes  # registers the standard passes
@@ -120,6 +122,8 @@ __all__ = [
     "create_pass",
     "default_flow",
     "parse_flow",
+    "pass_contracts",
     "register_pass",
     "run_flow",
+    "validate_pipeline",
 ]

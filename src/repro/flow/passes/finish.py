@@ -21,7 +21,7 @@ class MapPass(BasePass):
     """PO binding, K-LUT covering/packing and the final audits."""
 
     requires = ("work", "mapped")
-    provides = ("po_depths", "finished")
+    provides = ("mapped", "po_depths", "finished")
 
     def run(self, state: FlowState) -> FlowState:
         work, mapped, config = state.work, state.mapped, state.config

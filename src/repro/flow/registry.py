@@ -53,6 +53,47 @@ def available_passes() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def pass_contracts() -> Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """``name -> (requires, provides)`` for every registered pass.
+
+    The declared contracts, exposed for static tooling: the
+    flow-script satisfiability check below and the
+    :mod:`repro.analysis.detcheck` DD505 rule (which additionally
+    cross-checks the declarations against each pass body's actual
+    ``state`` accesses).
+    """
+    return {
+        name: (
+            tuple(getattr(factory, "requires", ())),
+            tuple(getattr(factory, "provides", ())),
+        )
+        for name, factory in sorted(_REGISTRY.items())
+    }
+
+
+def validate_pipeline(passes: List[BasePass]) -> None:
+    """Reject a pass chain whose ``requires`` cannot be satisfied.
+
+    Walks the chain with the capability set seeded from
+    :data:`repro.flow.state.INITIAL_FIELDS` and grown by each pass's
+    ``provides``; an unsatisfiable ``requires`` raises
+    :class:`FlowScriptError` here, at build time, instead of failing
+    mid-run after earlier passes already did work.
+    """
+    from repro.flow.state import INITIAL_FIELDS
+
+    available = set(INITIAL_FIELDS)
+    for p in passes:
+        for field in p.requires:
+            if field not in available:
+                raise FlowScriptError(
+                    f"flow script is unsatisfiable: pass {p.name!r} requires "
+                    f"state field {field!r} which neither the initial state "
+                    "nor any earlier pass provides"
+                )
+        available.update(p.provides)
+
+
 def create_pass(name: str, **options: object) -> BasePass:
     """Instantiate the registered pass ``name`` with ``options``."""
     factory = _REGISTRY.get(name)
@@ -120,8 +161,10 @@ def build_pipeline(spec: Union[str, List[BasePass]]) -> Pipeline:
     """Build a :class:`Pipeline` from a flow script (or a ready pass list)."""
     if isinstance(spec, str):
         passes = [create_pass(name, **options) for name, options in parse_flow(spec)]
-        return Pipeline(passes)
-    return Pipeline(spec)
+    else:
+        passes = list(spec)
+    validate_pipeline(passes)
+    return Pipeline(passes)
 
 
 def default_flow(config: object = None) -> str:

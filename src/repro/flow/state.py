@@ -28,6 +28,27 @@ from repro.network.netlist import BooleanNetwork
 from repro.runtime.stats import RuntimeStats
 
 
+#: Fields for which :meth:`FlowState.has` is already true on a fresh
+#: :meth:`FlowState.initial` state — the starting capability set the
+#: registry's static flow-script validation chains ``requires`` /
+#: ``provides`` from.  Keep in sync with the dataclass defaults below
+#: (detcheck's DD505 flags drift between passes and these fields).
+INITIAL_FIELDS = frozenset(
+    {
+        "source",
+        "config",
+        "verifier",
+        "stats",
+        "work",
+        "resolve",
+        "external",
+        "supernode_results",
+        "po_depths",
+        "depth",
+    }
+)
+
+
 @dataclass
 class FlowState:
     """Everything a flow pipeline reads and writes.

@@ -12,6 +12,7 @@ carries its trivial cut ``{n}`` for use by its consumers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Tuple
 
@@ -66,7 +67,9 @@ def enumerate_cuts(
                 if leaves in cand:
                     continue
                 depth = 1 + max(label[x] for x in leaves)
-                af = (1.0 + sum(area_flow[x] for x in leaves)) / max(fanout[node], 1)
+                af = (1.0 + math.fsum(area_flow[x] for x in leaves)) / max(
+                    fanout[node], 1
+                )
                 cand[leaves] = Cut(leaves, depth, af)
         ordered = sorted(cand.values(), key=lambda c: (c.depth, c.area_flow, c.size))
         # Drop dominated cuts (supersets with no better depth).

@@ -12,6 +12,7 @@ the phase-1 depth while shedding area — the DAOmap/ABC recipe.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -102,7 +103,7 @@ def _backward_select(
             depth = 1 + max(label[x] for x in cut.leaves)
             if depth > req:
                 continue
-            key = (sum(area_flow[x] for x in cut.leaves), depth, cut.size)
+            key = (math.fsum(area_flow[x] for x in cut.leaves), depth, cut.size)
             if best is None or key < best_key:
                 best, best_key = cut, key
         if best is None:
@@ -135,5 +136,5 @@ def _update_area_flow(
             cut = cuts[node][0] if cuts[node] else None
         if cut is None:
             continue
-        flow = 1.0 + sum(area_flow[x] for x in cut.leaves)
+        flow = 1.0 + math.fsum(area_flow[x] for x in cut.leaves)
         area_flow[node] = flow / max(refs.get(node, 1), 1)

@@ -66,7 +66,9 @@ def pack_network(net: BooleanNetwork, arch: Architecture) -> List[Cluster]:
             if best is None:
                 # Fall back to any unclustered LUT that fits (keeps
                 # cluster count minimal, as T-VPack does).
-                for cand in sorted(unclustered, key=lambda n: -depths.get(n, 0)):
+                # Tie-break on name: a depth-only key over a set keeps
+                # hash-seed-dependent order among equally deep LUTs.
+                for cand in sorted(unclustered, key=lambda n: (-depths.get(n, 0), n)):
                     if len(_inputs_with(cluster, cand, net)) <= arch.cluster_inputs:
                         best = cand
                         break

@@ -135,7 +135,7 @@ def place(
         nets_of_block[b] = sorted(set(nets_of_block[b]))
 
     costs = [net_cost(n) for n in nets]
-    total = sum(costs)
+    total = math.fsum(costs)
 
     movable_clusters = cluster_blocks
     moves_per_t = max(60, int(effort * 8 * (len(cluster_blocks) + len(io_blocks)) ** 1.2))
@@ -172,7 +172,10 @@ def place(
             affected |= set(nets_of_block.get(other, []))
         deltas = []
         delta = 0.0
-        for i in affected:
+        # sorted(): the float delta accumulation must not depend on set
+        # iteration order, or the annealer's accept/reject decisions
+        # become hash-seed-dependent.
+        for i in sorted(affected):
             new_cost = net_cost(nets[i])
             deltas.append((i, new_cost))
             delta += new_cost - costs[i]

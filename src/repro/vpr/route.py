@@ -107,7 +107,10 @@ def route(
             # Dijkstra from the whole current tree.
             dist: Dict[Cell, float] = {c: 0.0 for c in tree_cells}
             prev: Dict[Cell, Cell] = {}
-            heap = [(0.0, c) for c in tree_cells]
+            # sorted(): heap tie-breaks follow insertion order, so
+            # seeding from a set would make the Dijkstra tree (and the
+            # routed hops) hash-seed-dependent.
+            heap = [(0.0, c) for c in sorted(tree_cells)]
             heapq.heapify(heap)
             seen: Set[Cell] = set()
             while heap:

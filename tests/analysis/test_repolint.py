@@ -88,6 +88,40 @@ def test_rl005_suppression():
     assert "RL005" not in _codes(src)
 
 
+def test_rl006_stale_suppression():
+    # A disable comment that suppresses nothing on its line is itself a
+    # finding, so suppressions cannot silently outlive their fix.
+    src = "def api(x: int) -> int:  # repolint: disable=RL004\n    return x\n"
+    findings = lint_source(src)
+    assert [f.code for f in findings] == ["RL006"]
+    assert "RL004" in findings[0].message
+    assert "suppresses nothing" in findings[0].message
+
+
+def test_rl006_unknown_rule_code():
+    src = "x = 1  # repolint: disable=RL999\n"
+    findings = lint_source(src)
+    assert [f.code for f in findings] == ["RL006"]
+    assert "not a repolint rule" in findings[0].message
+
+
+def test_rl006_ignores_foreign_codes():
+    # detcheck owns DD5xx; repolint must not second-guess those lines.
+    assert _codes("for x in s:  # repolint: disable=DD501\n    pass\n") == []
+
+
+def test_rl006_live_suppression_is_clean():
+    src = "def api(x):  # repolint: disable=RL004\n    return x\n"
+    assert _codes(src) == []
+
+
+def test_rl006_opt_out_on_own_line():
+    # Listing RL006 on the line opts the whole line out of staleness
+    # checking (needed while a fix is being staged across commits).
+    src = "def api(x: int) -> int:  # repolint: disable=RL004,RL006\n    return x\n"
+    assert _codes(src) == []
+
+
 def test_suppression_comment():
     src = "def api(x):  # repolint: disable=RL004\n    return x\n"
     assert "RL004" not in _codes(src)

@@ -77,3 +77,30 @@ def test_check_synth_reports_verified_passes(capsys):
     for name in ("sweep", "collapse", "synth", "map"):
         assert f"pass {name}" in out
     assert "stage boundary" in out
+
+
+def test_check_synth_exit_2_on_recovered_failure_findings(monkeypatch, capsys):
+    # A crashed worker is recovered (run verifies end to end), but the
+    # DD404 finding must be surfaced with exit 2 — distinct from a
+    # verification error (1) and from a clean pass (0).
+    monkeypatch.setenv("DDBDD_JOBS", "2")
+    monkeypatch.setenv("DDBDD_FAULTS", "crash_worker@job=1")
+    assert main(["check", "count", "--synth"]) == 2
+    out = capsys.readouterr().out
+    assert "DD404" in out
+    assert "stage boundary" in out  # the pipeline itself verified
+
+
+def test_check_synth_exit_1_on_verification_error(monkeypatch, capsys):
+    # An unverified recovered cover yields an error-severity DD402:
+    # exit 1, like any other verification failure.
+    import repro.analysis as analysis
+    from repro.analysis.diagnostics import Diagnostic, ERROR
+
+    def fake_failcheck(reports):
+        return [Diagnostic("DD402", "injected: cover failed re-verification",
+                           severity=ERROR, where="n1")]
+
+    monkeypatch.setattr(analysis, "check_failure_reports", fake_failcheck)
+    assert main(["check", "count", "--synth"]) == 1
+    assert "DD402" in capsys.readouterr().out
