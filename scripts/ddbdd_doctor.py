@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""End-to-end health check for the ``ddbdd serve`` daemon.
+
+Spawns a real daemon subprocess on an ephemeral port, talks to it over
+the socket exactly like an operator's curl would, and verifies the
+serving contract:
+
+1. the ``listening on`` announcement is printed and parseable;
+2. ``/healthz`` reports the package version and a serving state;
+3. a sync-submitted Table-I circuit returns depth/area/BLIF
+   **byte-identical** to a serial in-process run of the same flow;
+4. async submit → poll → result and the event stream work;
+5. ``/metrics`` serves both JSON and Prometheus renderings;
+6. SIGTERM drains gracefully: the daemon finishes its work, prints the
+   drain summary, and exits 0.
+
+Exit status: 0 when every check passes, 1 otherwise.  Pure stdlib; run
+as ``PYTHONPATH=src python scripts/ddbdd_doctor.py [--circuit NAME]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+_CHECKS: List[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    _CHECKS.append(label)
+    mark = "ok" if ok else "FAIL"
+    print(f"  [{mark}] {label}" + (f" — {detail}" if detail else ""))
+    if not ok:
+        raise SystemExit(f"ddbdd_doctor: check failed: {label} {detail}")
+
+
+def request(
+    port: int, method: str, path: str, payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 300.0,
+) -> Tuple[int, Any]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        raw = response.read()
+        ctype = response.getheader("Content-Type") or ""
+        if "json" in ctype and "ndjson" not in ctype:
+            return response.status, json.loads(raw)
+        return response.status, raw.decode("utf-8")
+    finally:
+        conn.close()
+
+
+def golden_run(circuit: str) -> Tuple[int, int, str]:
+    """Serial in-process reference: depth, area, exact BLIF text."""
+    from repro.benchgen import build_circuit
+    from repro.core.config import DDBDDConfig
+    from repro.flow import run_flow
+    from repro.network import network_to_blif
+
+    result = run_flow(build_circuit(circuit), DDBDDConfig())
+    return result.depth, result.area, network_to_blif(result.network)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="misex1", help="Table-I circuit to submit")
+    parser.add_argument("--timeout", type=float, default=300.0, help="per-step timeout")
+    args = parser.parse_args(argv)
+
+    print(f"ddbdd_doctor: golden serial run of {args.circuit!r} ...")
+    depth, area, blif = golden_run(args.circuit)
+    print(f"ddbdd_doctor: golden depth={depth} area={area} blif={len(blif)}B")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    port = 0
+    try:
+        assert proc.stdout is not None
+        deadline = time.monotonic() + args.timeout
+        line = ""
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line and proc.poll() is not None:
+                raise SystemExit("ddbdd_doctor: daemon exited before announcing")
+            match = re.search(r"listening on http://[^:]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        check("daemon announces its port", port > 0, line.strip())
+
+        status, health = request(port, "GET", "/healthz", timeout=args.timeout)
+        check("/healthz answers 200", status == 200)
+        check(
+            "/healthz carries schema+version",
+            health.get("schema") == 1 and bool(health.get("version")),
+            str(health.get("version")),
+        )
+        check("daemon is serving", health.get("state") == "serving")
+
+        status, snap = request(
+            port,
+            "POST",
+            "/v1/synthesize",
+            {"benchmark": args.circuit, "mode": "sync", "emit": "blif"},
+            timeout=args.timeout,
+        )
+        check("sync submit answers 200/done", status == 200 and snap["state"] == "done")
+        result = snap["result"]
+        check(
+            "depth/area match golden serial run",
+            (result["depth"], result["area"]) == (depth, area),
+            f"daemon={result['depth']}/{result['area']} golden={depth}/{area}",
+        )
+        check("BLIF byte-identical to golden", result["blif"] == blif)
+        check(
+            "per-pass telemetry present",
+            [p["name"] for p in snap["passes"]] == ["sweep", "collapse", "synth", "map"],
+        )
+
+        status, accepted = request(
+            port, "POST", "/v1/synthesize", {"benchmark": args.circuit},
+            timeout=args.timeout,
+        )
+        check("async submit answers 202", status == 202)
+        job_id = accepted["job"]["id"]
+        state = ""
+        poll_deadline = time.monotonic() + args.timeout
+        while time.monotonic() < poll_deadline:
+            status, polled = request(port, "GET", f"/v1/jobs/{job_id}")
+            state = polled["state"]
+            if state in ("done", "failed"):
+                break
+            time.sleep(0.1)
+        check("async job polls to done", state == "done", state)
+        status, stream = request(port, "GET", f"/v1/jobs/{job_id}/events")
+        events = [json.loads(row) for row in str(stream).strip().splitlines()]
+        check(
+            "event stream replays the job",
+            events[0]["event"] == "state" and events[-1]["state"] == "done",
+            f"{len(events)} events",
+        )
+
+        status, metrics = request(port, "GET", "/metrics")
+        check(
+            "/metrics JSON aggregates served jobs",
+            status == 200 and metrics["jobs_observed"] >= 2,
+        )
+        status, prom = request(port, "GET", "/metrics?format=prometheus")
+        check(
+            "/metrics renders Prometheus text",
+            status == 200 and "# TYPE ddbdd_jobs_total counter" in str(prom),
+        )
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            check("SIGTERM drains and exits", False, "daemon did not exit")
+        tail = proc.stdout.read() or ""
+        check("SIGTERM drains and exits 0", proc.returncode == 0, f"rc={proc.returncode}")
+        check("drain summary printed", "drained" in tail, tail.strip().splitlines()[-1] if tail.strip() else "")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    print(f"ddbdd_doctor: all {len(_CHECKS)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

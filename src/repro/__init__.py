@@ -21,6 +21,7 @@ inventory and fidelity notes, and EXPERIMENTS.md for paper-vs-measured
 results.
 """
 
+from repro._version import __version__
 from repro.analysis import (
     Diagnostic,
     VerificationError,
@@ -51,8 +52,6 @@ from repro.benchgen import (
     TABLE5_SUITE,
     build_circuit,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "BDDManager",

@@ -1,0 +1,33 @@
+"""The single source of the package version.
+
+``repro.__version__`` is resolved from the installed package metadata
+(``importlib.metadata``) so a wheel/editable install reports whatever
+``pyproject.toml`` declared at build time; a bare source checkout run
+via ``PYTHONPATH=src`` (the repo's own tier-1 mode) falls back to the
+pinned default below, which is kept in lockstep with ``pyproject.toml``.
+
+This module is deliberately dependency-free (stdlib only, no ``repro``
+imports) so that leaf modules — :mod:`repro.runtime.stats`, the serve
+daemon — can report the version without touching the package
+``__init__`` and its import graph.
+
+Every versioned JSON surface of the project — ``ddbdd synth
+--stats-json``, the daemon's ``/healthz`` and ``/metrics`` — carries
+both this ``__version__`` and its own ``"schema"`` integer; bump a
+schema when a key set changes meaning, not when the package version
+moves.
+"""
+
+from __future__ import annotations
+
+from importlib import metadata as _metadata
+
+#: Fallback for source checkouts; keep equal to pyproject's ``version``.
+_FALLBACK = "1.0.0"
+
+try:
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # not installed: PYTHONPATH=src run
+    __version__ = _FALLBACK
+
+__all__ = ["__version__"]

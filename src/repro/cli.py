@@ -5,6 +5,9 @@ Subcommands
 ``synth``    — synthesize a BLIF file (or named benchmark) with any of
                the four flows and report depth/area; optionally write
                the mapped network back to BLIF and verify equivalence.
+``serve``    — run the synthesis-as-a-service HTTP daemon
+               (``repro.serve``): job queue, per-tenant quotas,
+               streaming per-pass telemetry, graceful drain.
 ``bench``    — list the named benchmark circuits.
 ``table``    — regenerate one of the paper's tables (1–5) or the
                Theorem-1 scaling study.
@@ -126,6 +129,30 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServerConfig
+    from repro.serve.app import serve_main
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        tenant_concurrency=args.tenant_concurrency,
+        tenant_queue_limit=args.tenant_queue_limit,
+        max_queue_depth=args.max_queue_depth,
+    )
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    try:
+        return asyncio.run(serve_main(config, announce))
+    except KeyboardInterrupt:  # non-Unix loops without signal handlers
+        return 130
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     for name in sorted(CIRCUITS):
         net = build_circuit(name)
@@ -168,7 +195,12 @@ def _cmd_vpr(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[list] = None) -> int:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(prog="ddbdd", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"ddbdd {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("synth", help="synthesize a circuit")
@@ -262,6 +294,41 @@ def main(argv: Optional[list] = None) -> int:
     )
     p.add_argument("-o", "--output", help="write mapped BLIF here")
     p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("serve", help="run the synthesis-as-a-service daemon")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="TCP port (0 = ephemeral; the bound port is printed on the "
+        "'listening on' line)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="jobs executing concurrently (worker threads)",
+    )
+    p.add_argument(
+        "--tenant-concurrency",
+        type=int,
+        default=1,
+        help="concurrent jobs allowed per tenant",
+    )
+    p.add_argument(
+        "--tenant-queue-limit",
+        type=int,
+        default=64,
+        help="waiting jobs allowed per tenant before 429",
+    )
+    p.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=256,
+        help="waiting jobs allowed in total before 429",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench", help="list named benchmark circuits")
     p.set_defaults(func=_cmd_bench)

@@ -43,7 +43,7 @@ network)::
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.config import DDBDDConfig
 from repro.network.netlist import BooleanNetwork
@@ -66,12 +66,14 @@ del _passes
 
 if TYPE_CHECKING:  # import cycle: repro.core.ddbdd reaches repro.flow lazily
     from repro.core.ddbdd import SynthesisResult
+    from repro.runtime.stats import PassTelemetry
 
 
 def run_flow(
     net: BooleanNetwork,
     config: Optional[DDBDDConfig] = None,
     script: Optional[str] = None,
+    observer: Optional[Callable[["PassTelemetry"], None]] = None,
 ) -> "SynthesisResult":
     """Run a flow pipeline over ``net`` and return a
     :class:`~repro.core.ddbdd.SynthesisResult`.
@@ -82,6 +84,12 @@ def run_flow(
     must end in a finishing pass (``map``): a pipeline that leaves the
     state unfinished raises :class:`FlowError` — use
     :class:`Pipeline` / :class:`FlowState` directly for partial flows.
+
+    ``observer``, if given, is installed as the run's
+    :attr:`~repro.runtime.stats.RuntimeStats.pass_observer`: it is
+    called with each :class:`~repro.runtime.stats.PassTelemetry` row as
+    the pass completes, while later passes are still running — the
+    serve daemon's streaming-progress hook.
     """
     # Deferred import: repro.core.ddbdd reaches repro.flow lazily, so
     # importing its result type eagerly here would close a cycle.
@@ -90,6 +98,8 @@ def run_flow(
     config = config or DDBDDConfig()
     start = time.perf_counter()
     state = FlowState.initial(net, config)
+    if observer is not None:
+        state.stats.pass_observer = observer
     pipeline = build_pipeline(script or config.flow or default_flow(config))
     pipeline.run(state)
     if not state.finished:

@@ -155,7 +155,7 @@ class Pipeline:
                 )
             bdd1 = _bdd_counters(state)
             rss1 = _rss_kb()
-            state.stats.passes.append(
+            state.stats.note_pass(
                 PassTelemetry(
                     name=p.name,
                     seconds=seconds,

@@ -50,7 +50,9 @@ def cover_network(
     for name in order:
         node = net.nodes[name]
         partial: List[FrozenSet[str]] = [frozenset()]
+        prefix: List[str] = []
         for f in node.fanins:
+            prefix.append(f)
             fanin_cuts = cuts[f] + [_Cut(frozenset([f]), label[f], area_flow[f])]
             merged: Dict[FrozenSet[str], None] = {}
             for p in partial:
@@ -58,6 +60,14 @@ def cover_network(
                     u = p | c.leaves
                     if len(u) <= k:
                         merged[u] = None
+            if not merged:
+                # Pruning kept only size-k partial cuts that cannot
+                # absorb this fanin; without a rescue the fold would go
+                # empty and the node would fall into the constant-node
+                # pseudo-cut below — emitting a fanin-less LUT carrying
+                # its whole global function.  The prefix of fanins seen
+                # so far is always a feasible partial cut (fanin <= k).
+                merged[frozenset(prefix)] = None
             # Intermediate prune keeps the fold polynomial.
             # fsum: correctly-rounded, so the score is independent of
             # the frozenset's hash-seed-dependent iteration order —

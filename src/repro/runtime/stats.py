@@ -22,7 +22,67 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro._version import __version__
+
+#: Version of the telemetry JSON contract.  ``RuntimeStats.as_dict()``
+#: (the ``--stats-json`` payload) and the serve daemon's ``/metrics``
+#: endpoint both stamp this as their top-level ``"schema"`` field, so a
+#: consumer can parse either with one reader.  Bump it only when a key
+#: in the stable sets below changes name or meaning; *adding* keys is
+#: backward compatible and does not bump the schema.
+STATS_SCHEMA = 1
+
+#: The stable top-level key set of :meth:`RuntimeStats.as_dict`.
+#: Consumers may rely on these keys existing with these meanings for as
+#: long as ``schema`` stays at :data:`STATS_SCHEMA`.
+RUNTIME_STATS_KEYS = (
+    "schema",
+    "version",
+    "jobs",
+    "cache_mode",
+    "stage_seconds",
+    "passes",
+    "wavefront_widths",
+    "supernodes",
+    "cache_hits",
+    "cache_misses",
+    "cache_puts",
+    "cache_rejected",
+    "cache_corruptions",
+    "failures",
+)
+
+#: The stable key set of one :meth:`PassTelemetry.as_dict` row (the
+#: elements of the ``"passes"`` list above and of the daemon's streamed
+#: per-pass events).
+PASS_TELEMETRY_KEYS = (
+    "name",
+    "seconds",
+    "verify_seconds",
+    "rss_peak_kb",
+    "rss_delta_kb",
+    "bdd_nodes_created",
+    "bdd_cache_hits",
+    "bdd_cache_misses",
+    "bdd_cache_hit_rate",
+    "failures",
+)
+
+#: The stable key set of one :meth:`FailureReport.as_dict` row (the
+#: elements of the ``"failures"`` list above).
+FAILURE_REPORT_KEYS = (
+    "job",
+    "seq",
+    "kind",
+    "reason",
+    "retries",
+    "rung",
+    "spent_s",
+    "spent_nodes",
+    "verified",
+)
 
 
 @dataclass
@@ -176,6 +236,12 @@ class RuntimeStats:
         (budget breaches resynthesized via the degradation ladder,
         worker-pool deaths recovered by respawn/retry or serial
         fallback); empty on a clean run.
+    pass_observer:
+        Optional callback invoked with each :class:`PassTelemetry` row
+        as the pipeline runner completes the pass (see
+        :meth:`note_pass`).  The serve daemon uses it to stream per-pass
+        progress while a job is still running; ``None`` (default) for
+        ordinary runs.
     """
 
     jobs: int = 1
@@ -190,6 +256,23 @@ class RuntimeStats:
     cache_rejected: int = 0
     cache_corruptions: int = 0
     failures: List[FailureReport] = field(default_factory=list)
+    pass_observer: Optional[Callable[[PassTelemetry], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def note_pass(self, row: PassTelemetry) -> None:
+        """Record one completed pass and notify the observer (if any).
+
+        Observer exceptions are swallowed: telemetry consumers (a
+        dropped event-stream client, a full pipe) must never be able to
+        abort a synthesis run.
+        """
+        self.passes.append(row)
+        if self.pass_observer is not None:
+            try:
+                self.pass_observer(row)
+            except Exception:
+                pass
 
     def add_stage(self, name: str, seconds: float) -> None:
         """Accumulate wall time into stage ``name``."""
@@ -209,8 +292,15 @@ class RuntimeStats:
         return max(self.wavefront_widths, default=0)
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-ready snapshot of the whole run (for ``--stats-json``)."""
+        """JSON-ready snapshot of the whole run (for ``--stats-json``).
+
+        The top-level key set is the versioned contract
+        :data:`RUNTIME_STATS_KEYS`; ``"schema"`` / ``"version"`` stamp
+        the contract version and the producing package version.
+        """
         return {
+            "schema": STATS_SCHEMA,
+            "version": __version__,
             "jobs": self.jobs,
             "cache_mode": self.cache_mode,
             "stage_seconds": dict(self.stage_seconds),

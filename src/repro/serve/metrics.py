@@ -1,0 +1,180 @@
+"""Daemon-lifetime metrics aggregation (``GET /metrics``).
+
+Every finished job folds its :class:`~repro.runtime.stats.RuntimeStats`
+snapshot (the same versioned ``as_dict()`` payload ``--stats-json``
+emits — one contract, two consumers) into a :class:`MetricsRegistry`.
+The registry keeps only sums and counters, never per-job rows, so its
+memory footprint is constant over daemon lifetime.
+
+Two renderings of the same counters:
+
+* :meth:`MetricsRegistry.snapshot` — JSON (stamped with the telemetry
+  ``schema`` and package ``version``), merged with the queue's
+  admission totals by the HTTP layer;
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text
+  exposition (``ddbdd_*`` families) for scrape-based collection,
+  selected via ``GET /metrics?format=prometheus`` or an
+  ``Accept: text/plain`` header.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.runtime.stats import STATS_SCHEMA
+from repro._version import __version__
+
+#: RuntimeStats counters summed 1:1 into the registry.
+_CACHE_COUNTERS = (
+    "cache_hits",
+    "cache_misses",
+    "cache_puts",
+    "cache_rejected",
+    "cache_corruptions",
+)
+
+
+class MetricsRegistry:
+    """Constant-space aggregation of per-job telemetry.
+
+    Single-threaded by contract, like :class:`~repro.serve.queue.JobQueue`:
+    only the event-loop thread folds snapshots in.
+    """
+
+    def __init__(self) -> None:
+        self.started_m = time.monotonic()
+        self.jobs_observed = 0
+        self.supernodes = 0
+        self.failures_recovered = 0
+        self.cache: Dict[str, int] = {k: 0 for k in _CACHE_COUNTERS}
+        #: name -> (calls, wall seconds, verify seconds) per pass.
+        self.pass_seconds: Dict[str, List[float]] = {}
+        #: stage name -> accumulated wall seconds.
+        self.stage_seconds: Dict[str, float] = {}
+        #: FailureReport ``kind`` -> count.
+        self.failure_kinds: Dict[str, int] = {}
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_m
+
+    def observe(self, stats: Mapping[str, Any]) -> None:
+        """Fold one finished job's ``RuntimeStats.as_dict()`` payload in."""
+        self.jobs_observed += 1
+        self.supernodes += int(stats.get("supernodes", 0))
+        for key in _CACHE_COUNTERS:
+            self.cache[key] += int(stats.get(key, 0))
+        for name, seconds in dict(stats.get("stage_seconds", {})).items():
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + float(seconds)
+        for row in stats.get("passes", []):
+            name = str(row.get("name", "?"))
+            cell = self.pass_seconds.setdefault(name, [0.0, 0.0, 0.0])
+            cell[0] += 1.0
+            cell[1] += float(row.get("seconds", 0.0))
+            cell[2] += float(row.get("verify_seconds", 0.0))
+        for failure in stats.get("failures", []):
+            kind = str(failure.get("kind", "?"))
+            self.failure_kinds[kind] = self.failure_kinds.get(kind, 0) + 1
+            self.failures_recovered += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON view of the aggregated counters.
+
+        Shares the ``--stats-json`` contract version
+        (:data:`repro.runtime.stats.STATS_SCHEMA`): the cache counter
+        keys and pass/stage vocabularies are the same ones a single
+        run's payload uses, just summed over every job served.
+        """
+        return {
+            "schema": STATS_SCHEMA,
+            "version": __version__,
+            "uptime_s": round(self.uptime_s, 3),
+            "jobs_observed": self.jobs_observed,
+            "supernodes": self.supernodes,
+            "failures_recovered": self.failures_recovered,
+            "failure_kinds": dict(self.failure_kinds),
+            **{k: v for k, v in self.cache.items()},
+            "stage_seconds": {k: round(v, 4) for k, v in self.stage_seconds.items()},
+            "passes": {
+                name: {
+                    "calls": int(cell[0]),
+                    "seconds": round(cell[1], 4),
+                    "verify_seconds": round(cell[2], 4),
+                }
+                for name, cell in sorted(self.pass_seconds.items())
+            },
+        }
+
+    def render_prometheus(self, queue_totals: Mapping[str, int]) -> str:
+        """Prometheus text exposition (version 0.0.4) of the registry
+        plus the queue's admission totals."""
+        lines: List[str] = []
+
+        def emit(name: str, kind: str, help_text: str, samples: "List[Tuple[str, float]]") -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                text = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else str(value)
+                lines.append(f"{name}{labels} {text}")
+
+        emit("ddbdd_uptime_seconds", "gauge", "Daemon uptime.", [("", self.uptime_s)])
+        emit(
+            "ddbdd_jobs_total",
+            "counter",
+            "Jobs by terminal disposition.",
+            [
+                ('{state="served"}', float(queue_totals.get("served", 0))),
+                ('{state="failed"}', float(queue_totals.get("failed", 0))),
+                ('{state="rejected"}', float(queue_totals.get("rejected", 0))),
+            ],
+        )
+        emit(
+            "ddbdd_queue_depth",
+            "gauge",
+            "Jobs waiting in the queue.",
+            [("", float(queue_totals.get("depth", 0)))],
+        )
+        emit(
+            "ddbdd_jobs_running",
+            "gauge",
+            "Jobs currently executing.",
+            [("", float(queue_totals.get("running", 0)))],
+        )
+        emit(
+            "ddbdd_cache_ops_total",
+            "counter",
+            "Emission-cache operations summed over served jobs.",
+            [(f'{{op="{k.removeprefix("cache_")}"}}', float(v)) for k, v in self.cache.items()],
+        )
+        emit(
+            "ddbdd_supernodes_total",
+            "counter",
+            "Supernodes synthesized or replayed, summed over served jobs.",
+            [("", float(self.supernodes))],
+        )
+        emit(
+            "ddbdd_failures_recovered_total",
+            "counter",
+            "Recovered runtime failures by kind.",
+            [(f'{{kind="{k}"}}', float(v)) for k, v in sorted(self.failure_kinds.items())]
+            or [("", 0.0)],
+        )
+        emit(
+            "ddbdd_pass_seconds_total",
+            "counter",
+            "Pipeline pass wall time by pass name.",
+            [(f'{{pass="{n}"}}', c[1]) for n, c in sorted(self.pass_seconds.items())]
+            or [("", 0.0)],
+        )
+        emit(
+            "ddbdd_pass_runs_total",
+            "counter",
+            "Pipeline pass executions by pass name.",
+            [(f'{{pass="{n}"}}', c[0]) for n, c in sorted(self.pass_seconds.items())]
+            or [("", 0.0)],
+        )
+        return "\n".join(lines) + "\n"
+
+
+__all__ = ["MetricsRegistry"]

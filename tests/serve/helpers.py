@@ -1,0 +1,113 @@
+"""In-process daemon harness for the serve tests.
+
+Runs a :class:`repro.serve.SynthesisServer` on a background thread with
+its own event loop and talks to it over a **real TCP socket** with
+``http.client`` — the tests exercise the exact wire path a curl client
+would, without a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve import ServerConfig, SynthesisServer
+
+
+class DaemonHarness:
+    """One daemon on an ephemeral port, driven from the test thread."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig(port=0)
+        self.config.port = 0  # tests always bind ephemeral ports
+        self.server: Optional[SynthesisServer] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "DaemonHarness":
+        self._thread.start()
+        assert self._ready.wait(30), "daemon failed to start"
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+        self.server = SynthesisServer(self.config)
+        loop.run_until_complete(self.server.start())
+        self._ready.set()
+        loop.run_until_complete(self.server.run_until_stopped())
+        loop.run_until_complete(self._settle())
+        loop.close()
+
+    async def _settle(self) -> None:
+        """Let stragglers (notifier tasks, closing handlers) finish."""
+        tasks = [t for t in asyncio.all_tasks() if t is not asyncio.current_task()]
+        for t in tasks:
+            t.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def stop(self) -> None:
+        """Graceful drain and join (idempotent)."""
+        if self.loop is not None and self.server is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(120)
+        assert not self._thread.is_alive(), "daemon failed to drain"
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    # -- client --------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: float = 180.0,
+    ) -> Tuple[int, Any]:
+        """One HTTP round trip; JSON bodies are parsed, others returned
+        as text."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            raw = response.read()
+            ctype = response.getheader("Content-Type", "")
+            if "json" in ctype and not path.endswith("/events"):
+                return response.status, json.loads(raw)
+            return response.status, raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Async-submit; returns the job object from the 202 body."""
+        status, body = self.request("POST", "/v1/synthesize", payload)
+        assert status == 202, (status, body)
+        return body["job"]
+
+    def wait_job(self, job_id: str, timeout: float = 180.0) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, snap = self.request("GET", f"/v1/jobs/{job_id}")
+            assert status == 200, (status, snap)
+            if snap["state"] in ("done", "failed"):
+                return snap
+            assert time.monotonic() < deadline, f"job {job_id} never finished"
+            time.sleep(0.02)
+
+    def events(self, job_id: str) -> "list[dict]":
+        """Read the job's full ndjson event stream (to completion)."""
+        status, text = self.request("GET", f"/v1/jobs/{job_id}/events")
+        assert status == 200
+        return [json.loads(line) for line in text.strip().splitlines()]
