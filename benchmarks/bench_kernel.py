@@ -8,23 +8,31 @@ structural *fingerprint* (node counts and the like): if a code change
 alters the fingerprint, the timing comparison is meaningless and the
 baseline must be regenerated deliberately.
 
+Noise discipline: every workload runs ``REPEATS`` times and the
+*median* wall time is reported — single-shot numbers on a shared 1-CPU
+host swing by ±20%, which is wider than most real regressions.  The
+committed JSON records the repeat count and interpreter version next to
+the numbers so a future reader can tell how they were produced.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py             # full + quick, write baseline
     PYTHONPATH=src python benchmarks/bench_kernel.py --quick     # quick workloads only
     PYTHONPATH=src python benchmarks/bench_kernel.py --quick --check   # CI gate: fail on >2x regression
 
-``--check`` compares against the checked-in ``BENCH_kernel.json`` and
-fails on a >2x slowdown of any microbenchmark (a deliberately generous
-bound — CI machines are noisy; the goal is catching accidental
-algorithmic regressions, not 10% drifts).
+``--check`` compares median times against the checked-in
+``BENCH_kernel.json`` and fails on a >2x slowdown of any microbenchmark
+(a deliberately generous bound — CI machines are noisy; the goal is
+catching accidental algorithmic regressions, not 10% drifts).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import platform
 import random
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -41,6 +49,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
 SEED = 20260805
 REGRESSION_FACTOR = 2.0
+REPEATS = 5
 
 # (bench result, fingerprint): seconds measured by the caller.
 Fingerprint = int
@@ -186,13 +195,30 @@ BENCHES: List[Tuple[str, Callable[[bool], Fingerprint]]] = [
 ]
 
 
-def run_mode(quick: bool) -> Dict[str, dict]:
+def run_mode(quick: bool, repeats: int = REPEATS) -> Dict[str, dict]:
+    """Run every bench ``repeats`` times; report the median wall time.
+
+    The workloads are fully seeded, so the fingerprint must be identical
+    across repeats — a mismatch means nondeterminism and aborts the run.
+    """
     rows: Dict[str, dict] = {}
     for name, fn in BENCHES:
-        t0 = time.perf_counter()
-        fingerprint = fn(quick)
+        times: List[float] = []
+        fingerprint: Optional[Fingerprint] = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fp = fn(quick)
+            times.append(time.perf_counter() - t0)
+            if fingerprint is None:
+                fingerprint = fp
+            elif fp != fingerprint:
+                raise AssertionError(
+                    f"{name}: fingerprint {fp} != {fingerprint} across repeats "
+                    "(seeded workload went nondeterministic)"
+                )
         rows[name] = {
-            "seconds": round(time.perf_counter() - t0, 4),
+            "seconds": round(statistics.median(times), 4),
+            "min_seconds": round(min(times), 4),
             "fingerprint": fingerprint,
         }
     return rows
@@ -236,16 +262,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"compare against the baseline; fail on >{REGRESSION_FACTOR}x regression",
     )
     parser.add_argument("--out", default=str(DEFAULT_OUT), help="baseline JSON path")
+    parser.add_argument(
+        "--repeats", type=int, default=REPEATS, help="repeats per bench (median reported)"
+    )
     args = parser.parse_args(argv)
 
     out = Path(args.out)
     modes = ["quick"] if args.quick else ["full", "quick"]
-    results = {mode: run_mode(mode == "quick") for mode in modes}
+    results = {mode: run_mode(mode == "quick", repeats=args.repeats) for mode in modes}
     for mode in modes:
         total = sum(r["seconds"] for r in results[mode].values())
-        print(f"{mode}: {total:.2f}s total")
+        print(f"{mode}: {total:.2f}s total (median of {args.repeats})")
         for name, row in results[mode].items():
-            print(f"  {name:26s} {row['seconds']:8.4f}s")
+            print(
+                f"  {name:26s} {row['seconds']:8.4f}s"
+                f"  (min {row['min_seconds']:.4f}s)"
+            )
 
     if args.check:
         if not out.exists():
@@ -259,6 +291,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     merged = json.loads(out.read_text(encoding="utf-8")) if out.exists() else {}
     merged.update(results)
+    merged["meta"] = {
+        "repeats": args.repeats,
+        "statistic": "median",
+        "python": platform.python_version(),
+    }
     out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out}")
     return 0

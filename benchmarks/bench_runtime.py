@@ -12,6 +12,12 @@ repo root (the perf-trajectory seed the CI history builds on).  Every
 configuration's depth/area must match the reference exactly; the script
 fails loudly if the determinism contract breaks.
 
+The whole four-way experiment repeats ``REPEATS`` times (fresh cache
+directory each repeat, so ``cache_cold`` is genuinely cold every time)
+and *median* wall times are reported — single-shot numbers on a shared
+1-CPU host swing by ±20%.  The committed JSON records the repeat count
+and interpreter version.
+
 Usage: ``PYTHONPATH=src python benchmarks/bench_runtime.py [--out FILE]``
 """
 
@@ -19,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import shutil
+import statistics
 import sys
 import tempfile
 import time
@@ -30,6 +38,7 @@ from repro.benchgen import TABLE1_SUITE, build_circuit
 from repro.core import DDBDDConfig, ddbdd_synthesize
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+REPEATS = 5
 
 
 def _run_suite(circuits: List[str], config: DDBDDConfig) -> Dict[str, dict]:
@@ -47,11 +56,8 @@ def _run_suite(circuits: List[str], config: DDBDDConfig) -> Dict[str, dict]:
     return rows
 
 
-def run_bench(
-    circuits: Optional[List[str]] = None, jobs: int = 4
-) -> dict:
-    """Run all four configurations; returns the report object."""
-    circuits = list(circuits or TABLE1_SUITE)
+def _run_once(circuits: List[str], jobs: int) -> Dict[str, Dict[str, dict]]:
+    """One four-way experiment with its own (initially empty) cache."""
     cache_dir = tempfile.mkdtemp(prefix="ddbdd_bench_cache_")
     try:
         configs = {
@@ -78,15 +84,59 @@ def run_bench(
                     f"{label}/{name}: depth/area {got} != serial {want} "
                     "(determinism contract broken)"
                 )
+    return runs
+
+
+def run_bench(
+    circuits: Optional[List[str]] = None, jobs: int = 4, repeats: int = REPEATS
+) -> dict:
+    """Run the four configurations ``repeats`` times; report medians."""
+    circuits = list(circuits or TABLE1_SUITE)
+    trials = [_run_once(circuits, jobs) for _ in range(repeats)]
+
+    # Depth/area are deterministic across trials too; take trial 0 as the
+    # structural reference and fail if any later trial drifted.
+    reference = trials[0]["serial"]
+    for trial in trials[1:]:
+        for name in circuits:
+            got = (trial["serial"][name]["depth"], trial["serial"][name]["area"])
+            want = (reference[name]["depth"], reference[name]["area"])
+            if got != want:
+                raise AssertionError(
+                    f"serial/{name}: depth/area {got} != first trial {want} "
+                    "(determinism contract broken across repeats)"
+                )
+
+    labels = list(trials[0].keys())
+    runs: Dict[str, Dict[str, dict]] = {}
+    for label in labels:
+        runs[label] = {
+            name: {
+                "seconds": round(
+                    statistics.median(t[label][name]["seconds"] for t in trials), 4
+                ),
+                "depth": reference[name]["depth"],
+                "area": reference[name]["area"],
+            }
+            for name in circuits
+        }
 
     totals = {
-        label: round(sum(r["seconds"] for r in rows.values()), 4)
-        for label, rows in runs.items()
+        label: round(
+            statistics.median(
+                sum(r["seconds"] for r in t[label].values()) for t in trials
+            ),
+            4,
+        )
+        for label in labels
     }
     serial_total = totals["serial"]
     return {
         "suite": circuits,
         "jobs": jobs,
+        "repeats": repeats,
+        "statistic": "median",
+        "python": platform.python_version(),
         "totals_seconds": totals,
         "speedup_vs_serial": {
             label: round(serial_total / t, 3) if t > 0 else None
@@ -105,10 +155,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--jobs", type=int, default=4, help="parallel worker count")
     parser.add_argument(
+        "--repeats", type=int, default=REPEATS, help="experiment repeats (median reported)"
+    )
+    parser.add_argument(
         "--circuits", nargs="*", default=None, help="benchgen circuit names"
     )
     args = parser.parse_args(argv)
-    report = run_bench(args.circuits, jobs=args.jobs)
+    report = run_bench(args.circuits, jobs=args.jobs, repeats=args.repeats)
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     warm = report["speedup_vs_serial"]["cache_warm"]
     par = report["speedup_vs_serial"][f"jobs{args.jobs}"]

@@ -1,18 +1,28 @@
 """BDD-manager invariant checker (``DD2xx``).
 
 :func:`check_bdd_manager` audits the internal consistency of a
-:class:`~repro.bdd.manager.BDDManager`: reducedness, variable-order
-monotonicity on every edge, unique-table agreement with the node store,
-compute-cache sanity and the order/level permutation pair.
+:class:`~repro.bdd.manager.BDDManager`: store-column shape, reducedness,
+variable-order monotonicity on every edge, unique-table agreement with
+the node store, compute-cache sanity and the order/level permutation
+pair.
+
+The manager is a struct-of-arrays store with complement edges: parallel
+``var``/``lo``/``hi`` columns indexed by store row, functions referenced
+by handles ``(row << 1) | complement``, and a canonical form in which
+every *stored* then-edge is regular.  The checks validate the columns
+directly (lengths, index ranges, canonical then-edges — DD207) and the
+function-level view through resolved complement bits (ordering,
+reducedness — DD202/DD203).
 
 Scope
 -----
-Passing ``roots`` restricts the per-node structural checks to the nodes
-reachable from those functions.  That is both faster and *stricter*:
-unreachable ("dead") nodes may legitimately carry stale structure after
-in-place sifting (:meth:`BDDManager.swap_adjacent_levels` rewrites only
-the live pool), so a whole-store audit must tolerate nodes missing from
-the unique table, while a live-set audit must not.
+Passing ``roots`` restricts the per-node structural checks to the
+handles reachable from those functions.  That is both faster and
+*stricter*: unreachable ("dead") rows may legitimately carry stale
+structure after in-place sifting (:meth:`BDDManager
+.swap_adjacent_levels` rewrites only the live pool), so a whole-store
+audit must tolerate rows missing from the unique table, while a
+live-set audit must not.
 """
 
 from __future__ import annotations
@@ -28,31 +38,56 @@ def check_bdd_manager(
 ) -> List[Diagnostic]:
     """Audit every ``DD2xx`` invariant of ``mgr``.
 
-    ``roots`` (optional) are function ids; when given, only nodes
+    ``roots`` (optional) are function handles; when given, only handles
     reachable from them are checked and every one of them must be
     registered in the unique table.
     """
     diags: List[Diagnostic] = []
-    num_nodes = mgr.num_nodes
+    num_rows = mgr.num_nodes
+    max_handle = 2 * num_rows  # valid handles are 0 <= h < 2 * rows
 
+    diags.extend(_check_store_shape(mgr))
     diags.extend(_check_terminals(mgr))
     diags.extend(_check_order_maps(mgr))
 
     if roots is not None:
         live: Set[int] = set()
+        # Defensive reachability: bounds-check every child before
+        # descending, so a dangling store index is reported (below, per
+        # node) instead of crashing the audit itself.
+        lo_a = mgr._lo
+        hi_a = mgr._hi
+        stack: List[int] = []
         for r in roots:
-            if not 0 <= r < num_nodes:
+            if not 0 <= r < max_handle:
                 diags.append(
-                    Diagnostic("DD204", f"root {r} is not a node id", where=str(r))
+                    Diagnostic("DD204", f"root {r} is not a handle", where=str(r))
                 )
                 continue
-            live |= mgr.reachable(r)
+            stack.append(r)
+        while stack:
+            n = stack.pop()
+            if n in live:
+                continue
+            live.add(n)
+            if n > 1:
+                p = n & 1
+                i = n >> 1
+                for child in (lo_a[i] ^ p, hi_a[i] ^ p):
+                    if 0 <= child < max_handle:
+                        stack.append(child)
         pool: Iterable[int] = sorted(n for n in live if n > 1)
         strict_unique = True
     else:
-        pool = range(2, num_nodes)
+        # Whole-store audit: every row, viewed through its regular
+        # handle.  Clamp to the shortest column so a shape violation
+        # (already reported as DD207) cannot crash the per-row checks.
+        safe_rows = min(num_rows, len(mgr._lo), len(mgr._hi))
+        pool = (row << 1 for row in range(1, safe_rows))
         strict_unique = False
 
+    lo_col = mgr._lo
+    hi_col = mgr._hi
     for n in pool:
         var, lo, hi = mgr.node(n)
         where = str(n)
@@ -61,10 +96,12 @@ def check_bdd_manager(
                 Diagnostic("DD202", f"node {n} tests out-of-range variable {var}", where=where)
             )
             continue
-        if not (0 <= lo < num_nodes and 0 <= hi < num_nodes):
+        if not (0 <= lo < max_handle and 0 <= hi < max_handle):
             diags.append(
                 Diagnostic(
-                    "DD204", f"node {n} has out-of-range child ({lo}, {hi})", where=where
+                    "DD204",
+                    f"node {n} has dangling child index ({lo}, {hi})",
+                    where=where,
                 )
             )
             continue
@@ -74,7 +111,18 @@ def check_bdd_manager(
                     "DD203", f"node {n} is unreduced: both edges reach {lo}", where=where
                 )
             )
+        if hi_col[n >> 1] & 1:
+            diags.append(
+                Diagnostic(
+                    "DD207",
+                    f"node {n} stores a complemented then-edge {hi_col[n >> 1]}",
+                    where=where,
+                )
+            )
         level = mgr.level_of(var)
+        # Order monotonicity holds through complement edges: the level of
+        # a child is the level of its *row's* variable, complement bit or
+        # not.
         for label, child in (("0-edge", lo), ("1-edge", hi)):
             if child > 1 and mgr.level_of(mgr.top_var(child)) <= level:
                 diags.append(
@@ -85,12 +133,14 @@ def check_bdd_manager(
                     )
                 )
         if strict_unique:
-            registered = mgr._unique.get(mgr._ukey(var, lo, hi))
-            if registered != n:
+            row = n >> 1
+            stored = (mgr._var[row], lo_col[row], hi_col[row])
+            registered = mgr._unique.get(mgr._ukey(*stored))
+            if registered != row:
                 diags.append(
                     Diagnostic(
                         "DD204",
-                        f"live node {n} triple maps to {registered} in the unique table",
+                        f"live row {row} triple maps to {registered} in the unique table",
                         where=where,
                     )
                 )
@@ -100,15 +150,41 @@ def check_bdd_manager(
     return diags
 
 
-def _check_terminals(mgr: BDDManager) -> List[Diagnostic]:
+def _check_store_shape(mgr: BDDManager) -> List[Diagnostic]:
+    """DD207: the three store columns must agree in length."""
     diags: List[Diagnostic] = []
+    lv, ll, lh = len(mgr._var), len(mgr._lo), len(mgr._hi)
+    if not (lv == ll == lh):
+        diags.append(
+            Diagnostic(
+                "DD207",
+                f"store columns disagree in length: var={lv} lo={ll} hi={lh}",
+            )
+        )
+    return diags
+
+
+def _check_terminals(mgr: BDDManager) -> List[Diagnostic]:
+    """DD201: store row 0 is the constant-FALSE terminal."""
+    diags: List[Diagnostic] = []
+    if mgr._var[0] != -1 or mgr._lo[0] != 0 or mgr._hi[0] != 0:
+        diags.append(
+            Diagnostic(
+                "DD201",
+                f"terminal row 0 carries ({mgr._var[0]}, {mgr._lo[0]}, {mgr._hi[0]}) "
+                "instead of (-1, 0, 0)",
+                where="0",
+            )
+        )
+        return diags
+    # The handle view must follow: both terminals self-children.
     for t in (mgr.ZERO, mgr.ONE):
         var, lo, hi = mgr.node(t)
         if var != -1 or lo != t or hi != t:
             diags.append(
                 Diagnostic(
                     "DD201",
-                    f"terminal {t} carries ({var}, {lo}, {hi}) instead of (-1, {t}, {t})",
+                    f"terminal {t} resolves to ({var}, {lo}, {hi}) instead of (-1, {t}, {t})",
                     where=str(t),
                 )
             )
@@ -138,92 +214,71 @@ def _check_order_maps(mgr: BDDManager) -> List[Diagnostic]:
 
 
 def _check_unique_table(mgr: BDDManager) -> List[Diagnostic]:
-    """Every unique-table entry must agree with the node store."""
+    """DD204: every unique-table entry must agree with the store
+    columns, and no row may be registered twice."""
     diags: List[Diagnostic] = []
-    num_nodes = mgr.num_nodes
+    num_rows = mgr.num_nodes
     claimed: dict = {}
-    for (var, lo, hi), n in mgr.iter_unique_items():
-        if not 2 <= n < num_nodes:
+    for (var, lo, hi), row in mgr.iter_unique_items():
+        if not 1 <= row < num_rows:
             diags.append(
                 Diagnostic(
                     "DD204",
-                    f"unique table maps ({var}, {lo}, {hi}) to invalid id {n}",
-                    where=str(n),
+                    f"unique table maps ({var}, {lo}, {hi}) to invalid row {row}",
+                    where=str(row),
                 )
             )
             continue
-        if mgr.node(n) != (var, lo, hi):
+        stored = (mgr._var[row], mgr._lo[row], mgr._hi[row])
+        if stored != (var, lo, hi):
             diags.append(
                 Diagnostic(
                     "DD204",
-                    f"unique table key ({var}, {lo}, {hi}) disagrees with node {n} "
-                    f"storing {mgr.node(n)}",
-                    where=str(n),
+                    f"unique table key ({var}, {lo}, {hi}) disagrees with row {row} "
+                    f"storing {stored}",
+                    where=str(row),
                 )
             )
-        if n in claimed:
+        if row in claimed:
             diags.append(
                 Diagnostic(
                     "DD204",
-                    f"node {n} is registered under two unique-table keys",
-                    where=str(n),
+                    f"row {row} is registered under two unique-table keys",
+                    where=str(row),
                 )
             )
-        claimed[n] = (var, lo, hi)
+        claimed[row] = (var, lo, hi)
     return diags
 
 
 def _check_compute_caches(mgr: BDDManager) -> List[Diagnostic]:
-    """Cached results must be valid ids with compatible structure."""
+    """DD205: cached results must be valid handles.
+
+    Only the ``ite``, ``and`` and ``xor`` caches physically exist:
+    NOT is a bit flip with no cache, and OR/XNOR are complement wrappers
+    routed through the AND/XOR tables.
+    """
     diags: List[Diagnostic] = []
-    num_nodes = mgr.num_nodes
+    max_handle = 2 * mgr.num_nodes
     for key, result in mgr.iter_ite_items():
         ids = (*key, result)
-        if any(not 0 <= x < num_nodes for x in ids):
+        if any(not 0 <= x < max_handle for x in ids):
             diags.append(
                 Diagnostic(
                     "DD205",
-                    f"ite cache entry {key} -> {result} references unknown node ids",
+                    f"ite cache entry {key} -> {result} references unknown handles",
                     where=str(result),
                 )
             )
-    for op in ("and", "or", "xor", "xnor"):
+    for op in ("and", "xor"):
         for (f, g), result in mgr.iter_binary_cache_items(op):
-            if any(not 0 <= x < num_nodes for x in (f, g, result)):
+            if any(not 0 <= x < max_handle for x in (f, g, result)):
                 diags.append(
                     Diagnostic(
                         "DD205",
                         f"{op} cache entry ({f}, {g}) -> {result} references "
-                        "unknown node ids",
+                        "unknown handles",
                         where=str(result),
                     )
                 )
-    for f, g in mgr.iter_not_items():
-        if not (0 <= f < num_nodes and 0 <= g < num_nodes):
-            diags.append(
-                Diagnostic(
-                    "DD205",
-                    f"negation cache entry {f} -> {g} references unknown node ids",
-                    where=str(f),
-                )
-            )
-            continue
-        # Complement preserves the root variable (no complement edges).
-        if f > 1 and g > 1 and mgr.top_var(f) != mgr.top_var(g):
-            diags.append(
-                Diagnostic(
-                    "DD205",
-                    f"negation cache pairs node {f} (var {mgr.top_var(f)}) with "
-                    f"node {g} (var {mgr.top_var(g)})",
-                    where=str(f),
-                )
-            )
-        if (f <= 1) != (g <= 1):
-            diags.append(
-                Diagnostic(
-                    "DD205",
-                    f"negation cache pairs terminal and nonterminal ({f}, {g})",
-                    where=str(f),
-                )
-            )
     return diags

@@ -42,6 +42,7 @@ DIAGNOSTIC_CODES = {
     "DD204": "unique-table entry disagrees with the node store",
     "DD205": "compute-cache entry is structurally inconsistent",
     "DD206": "variable order / level maps are not inverse permutations",
+    "DD207": "node-store column shape or complement-edge canonical form violated",
     # DD3xx — LUT cover
     "DD301": "cell exceeds K inputs",
     "DD302": "claimed mapping depth disagrees with recomputation",

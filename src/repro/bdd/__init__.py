@@ -15,10 +15,14 @@ This package is a from-scratch BDD engine sized for logic synthesis work:
   ``Bs(u, l, v)`` (Definitions 5 and 7).
 * :mod:`repro.bdd.dot` — Graphviz export for debugging and documentation.
 
-Functions are referenced by integer node ids; ``BDDManager.ZERO`` and
-``BDDManager.ONE`` are the terminals.  There are no complement edges: the
-paper's algorithms reason about paths from the root to terminal 1, which
-is only a structural notion on plain ROBDDs (see DESIGN.md).
+Functions are referenced by opaque integer *handles*; ``BDDManager.ZERO``
+and ``BDDManager.ONE`` are the terminals.  The store uses complement
+edges internally — a handle is ``(store_row << 1) | complement``, so a
+function and its complement share one row and NOT is a single bit flip —
+but every structural accessor resolves the complement bit, so consumers
+(including the paper's path-to-terminal-1 reasoning in
+:mod:`repro.bdd.leveled`) always see the plain ROBDD of the function
+(see DESIGN.md §7).
 """
 
 from repro.bdd.manager import BDDManager, BDDError, NodeLimitExceeded

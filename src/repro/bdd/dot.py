@@ -2,6 +2,19 @@
 
 Solid edges are 1-edges and dashed edges are 0-edges, matching the
 drawing convention of the paper (Fig. 1).
+
+Two views are provided:
+
+* :func:`to_dot` draws the *function* DAG: complement bits are resolved
+  into the children, so the picture is the plain BDD of ``f`` — one
+  circle per distinct cofactor, exactly what an explicit-polarity store
+  would draw.
+* :func:`to_dot_store` draws the *store* rows behind ``f`` with
+  complement edges explicit: one circle per store row (a function and
+  its complement share it), a single ``0`` terminal box, and every
+  complemented edge — including a complemented root pointer — rendered
+  with a dot arrowhead (``dir=both, arrowtail=dot``), the classical
+  CUDD drawing convention.
 """
 
 from __future__ import annotations
@@ -26,5 +39,40 @@ def to_dot(mgr: BDDManager, f: int, name: str = "bdd") -> str:
         lines.append(f'  n{node} [label="{mgr.var_name(var)}", shape=circle];')
         lines.append(f"  n{node} -> {node_name(hi)};")
         lines.append(f"  n{node} -> {node_name(lo)} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_dot_store(mgr: BDDManager, f: int, name: str = "bdd_store") -> str:
+    """Render the store rows reachable from ``f`` with complement arcs.
+
+    The root pointer is drawn from a point node; rows are shared between
+    a function and its complement, so this view shows the actual memory
+    shape (roughly half the :func:`to_dot` node count on
+    complement-heavy functions).
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  t0 [label="0", shape=box];')
+    lines.append('  root [shape=point];')
+
+    rows = sorted({h >> 1 for h in mgr.reachable(f) if h > 1})
+
+    def edge(src: str, child: int, style: str) -> str:
+        dst = "t0" if child >> 1 == 0 else f"r{child >> 1}"
+        attrs = [style] if style else []
+        if child & 1:
+            attrs.append("dir=both")
+            attrs.append("arrowtail=dot")
+        body = f" [{', '.join(attrs)}]" if attrs else ""
+        return f"  {src} -> {dst}{body};"
+
+    lines.append(edge("root", f, ""))
+    var_col = mgr._var
+    lo_col = mgr._lo
+    hi_col = mgr._hi
+    for row in rows:
+        lines.append(f'  r{row} [label="{mgr.var_name(var_col[row])}", shape=circle];')
+        lines.append(edge(f"r{row}", hi_col[row], ""))
+        lines.append(edge(f"r{row}", lo_col[row], "style=dashed"))
     lines.append("}")
     return "\n".join(lines)

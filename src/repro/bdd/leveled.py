@@ -16,8 +16,15 @@ better; at the same time each variable gets a unique level, which is what
 Algorithm 4's cut-set recurrence implicitly assumes.  Terminal nodes sit
 at level ``depth`` (Definition 2).
 
-Nodes are referred to by their *manager* node ids; terminals are the
-manager's ``ZERO``/``ONE``.
+Nodes are referred to by their *manager* handles; terminals are the
+manager's ``ZERO``/``ONE``.  The manager stores nodes with complement
+edges, but this view never sees them: every child access resolves the
+complement bit (the cofactor view), so the structure walked here is the
+plain BDD of the function, exactly as an explicit-polarity store would
+expose it.  Deterministic tie-breaks sort by raw handle value, i.e.
+(store row, complement) order — store rows are created in a
+function-determined order, so this is as stable across runs as the old
+node-id order was.
 
 Performance
 -----------
@@ -153,7 +160,9 @@ class LeveledBDD:
         node_level = self.node_level
         rows = self._cs.get(u)
         if rows is None:
-            members = {hi_a[u], lo_a[u]}
+            up = u & 1
+            ui = u >> 1
+            members = {hi_a[ui] ^ up, lo_a[ui] ^ up}
             first = tuple(sorted(members, key=lambda n: (node_level[n], n)))
             rows = self._cs[u] = [first]
             self._cs_sets[u] = [frozenset(first)]
@@ -167,8 +176,10 @@ class LeveledBDD:
                 if node_level[w] > cut_abs:
                     add(w)
                 else:
-                    add(hi_a[w])
-                    add(lo_a[w])
+                    p = w & 1
+                    i = w >> 1
+                    add(hi_a[i] ^ p)
+                    add(lo_a[i] ^ p)
             row = tuple(sorted(members, key=lambda n: (node_level[n], n)))
             rows.append(row)
             sets.append(frozenset(row))
@@ -224,9 +235,11 @@ class LeveledBDD:
                 return got
             # The walk preserves the order (children sit at deeper
             # levels), so find-or-create replaces the generic ite.
-            t = walk(hi_a[w])
-            e = walk(lo_a[w])
-            result = mk(var_a[w], e, t)
+            p = w & 1
+            i = w >> 1
+            t = walk(hi_a[i] ^ p)
+            e = walk(lo_a[i] ^ p)
+            result = mk(var_a[i], e, t)
             row[w] = result
             return result
 

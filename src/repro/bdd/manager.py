@@ -1,62 +1,108 @@
-"""Hash-consed ROBDD manager.
+"""Hash-consed ROBDD manager with complement edges.
 
-The manager owns a node store shared by every function it builds.  A BDD
-function is just an ``int`` node id; equality of ids is equality of
-functions (canonicity).  Node 0 is the constant FALSE terminal and node 1
-the constant TRUE terminal.
+The manager owns a struct-of-arrays node store shared by every function
+it builds: three parallel list columns (``var``, ``lo``, ``hi``) indexed
+by integer *store row*.  A BDD function is an ``int`` **handle**
+``(row << 1) | complement``: the low bit tags whether the function is
+the stored node or its complement.  Equality of handles is equality of
+functions (canonicity).  Store row 0 is the constant-FALSE terminal, so
+handle 0 is ZERO and handle 1 (its complement) is ONE.
+
+Canonical form: the stored *then*-edge of every row is a regular
+(uncomplemented) handle.  ``_mk`` enforces this by complementing both
+children and returning a complemented handle whenever the requested
+then-edge is complemented, which
+
+* makes ``negate`` O(1) (``f ^ 1`` — the NOT cache of the previous
+  engine disappears entirely), and
+* roughly halves the unique table and the node store: a function and
+  its complement share one row.
+
+All structural accessors (:meth:`lo`, :meth:`hi`, :meth:`node`,
+:meth:`top_var`) resolve the complement bit, so a handle walk sees the
+plain cofactor DAG of the function — node counts, supports, cut sets
+and exported signatures are exactly what an explicit-polarity store
+would produce.  DDBDD's linear expansion (paths to the 1 terminal) is
+evaluated on that resolved view, never on raw store rows.
 
 Variables are identified by small integers in creation order.  Each
 manager carries a variable *order*: ``level_of(v)`` gives the level
-(position from the root) at which variable ``v`` appears.  All structural
-algorithms split on the variable of minimum level.  The order is fixed at
-construction time (pass ``order=`` or leave the identity); reordering is
-done by rebuilding into a fresh manager (:mod:`repro.bdd.reorder`), which
-keeps every previously returned node id valid.
-
-There are deliberately no complement edges: DDBDD's linear expansion is a
-statement about paths from the root to the *1 terminal*, which is only a
-structural notion when terminal polarity is explicit.
+(position from the root) at which variable ``v`` appears.  All
+structural algorithms split on the variable of minimum level.  The
+order is fixed at construction time (pass ``order=`` or leave the
+identity); reordering is done by rebuilding into a fresh manager
+(:mod:`repro.bdd.reorder`) or by in-place adjacent-level swaps.
 
 Hot-path engineering
 --------------------
 The operator suite is the synthesis flow's innermost loop, so it is
 tuned for CPython:
 
-* AND/OR/XOR/XNOR have dedicated binary recursions with per-operator
-  caches instead of routing through the 3-operand ``ite`` (XOR in
-  particular no longer materializes ``negate(g)`` up front).
-* ``ite`` normalizes standard triples first — ``ite(f, g, 0)`` becomes
-  ``apply_and``, ``ite(f, 1, h)`` becomes ``apply_or``, ``ite(f, 0, 1)``
-  becomes ``negate`` — so equivalent call shapes share one cache entry.
+* AND and XOR have dedicated binary recursions with per-operator
+  caches; OR and XNOR are O(1) complement wrappers (De Morgan:
+  ``f ∨ g = ¬(¬f · ¬g)``; ``f ⊙ g = ¬(f ⊕ g)``) that *share* those
+  caches, so mixed and/or workloads populate one table instead of two.
+* XOR strips the complement bits of both operands up front
+  (``¬f ⊕ g = ¬(f ⊕ g)``), quartering its cache key space.
+* ``ite`` re-derives the standard-triple normalization for complemented
+  handles: the if-operand is made regular (swapping the branches), the
+  branch operands are reduced against ``f``/``¬f`` in O(1), the
+  ``xor``/``xnor`` triple shapes are detected, and the generic
+  recursion canonicalizes the then-branch polarity so an ITE and its
+  complement share one cache entry.
 * Cache and unique-table keys are packed integers (``v << 64 | lo << 32
-  | hi``), not tuples: one hash of one int instead of a tuple allocation
-  plus three hashes.  Node ids must stay below 2**32, which a Python
-  process cannot outlive anyway.
-* Operator caches are :class:`~repro.utils.BoundedMemo` tables (hard
-  entry cap, FIFO eviction), so long-lived managers cannot grow their
-  memo footprint without bound.
+  | hi``), not tuples: one hash of one int instead of a tuple
+  allocation plus three hashes.  Handles must stay below 2**32, which a
+  Python process cannot outlive anyway.
+* The five operator entry points (``apply_and``, ``apply_or``,
+  ``apply_xor``, ``apply_xnor``, ``ite``) are *compiled per manager*:
+  :func:`_build_engines` closes them over the store columns, level maps
+  and caches, so the recursive hot loops run with zero attribute
+  lookups, the unique-table find-or-create and the top-variable split
+  inlined, and cache probes through pre-bound ``dict.get``.
+* Operator and derived-query caches are plain dicts with a hard entry
+  cap: a cache that reaches :data:`OP_CACHE_CAP` is cleared wholesale.
+  For a memo of a pure function the only cost is recomputation —
+  canonicity guarantees bit-identical results either way — and an
+  inline ``len`` check is far cheaper per insert than per-entry
+  eviction bookkeeping on the kernel hot path.
 * ``iterative=True`` switches every operator to an explicit-stack
   evaluator that performs the *same* algorithm in the same order (same
-  cache keys, same node-creation order — ids are bit-identical to the
-  recursive engine) without consuming Python stack frames; use it for
-  BDDs deeper than the recursion limit allows.
+  cache keys, same node-creation order — handles are bit-identical to
+  the recursive engine) without consuming Python stack frames; use it
+  for BDDs deeper than the recursion limit allows.
 * Cheap counters (:meth:`cache_stats`) expose unique-table and
-  per-operator cache hit rates for profiling.
+  per-operator cache hit rates plus the complement-edge wins (free
+  negations served, store rows saved, column bytes) for profiling.
+
+Deterministic consumers that need stable tie-breaks (the DP's cut-set
+and level sorts in :mod:`repro.bdd.leveled`) sort by raw handle value:
+store rows are appended in a function-determined order, so (row,
+complement) order is exactly as reproducible as the node-id creation
+order of an explicit-polarity store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
-
-from repro.utils import BoundedMemo
+import sys
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 # Packed-key field widths: key = (v << 64) | (lo << 32) | hi for the
 # unique table and ite cache, (f << 32) | g for binary operator caches.
 _SHIFT = 32
 _MASK = (1 << _SHIFT) - 1
 
-#: Entry cap of each operator cache (unique table is never capped).
+#: Entry cap of each operator / derived-query cache (the unique table is
+#: never capped).  Caches are plain dicts; when one reaches the cap it
+#: is cleared wholesale — for a memo of a pure function that only costs
+#: recomputation, and an inline ``len`` check is far cheaper per insert
+#: than per-entry eviction bookkeeping on the kernel hot path.
 OP_CACHE_CAP = 1 << 18
+
+# Indices into the shared hit-counter list (a list, not attributes: the
+# engine closures bump these on every cache hit and an indexed store is
+# the cheapest write CPython offers them).
+_H_UNIQUE, _H_ITE, _H_AND, _H_XOR = range(4)
 
 #: Shared empty support (terminals depend on no variable).
 _EMPTY_SUPPORT: "frozenset[int]" = frozenset()
@@ -71,7 +117,8 @@ class NodeLimitExceeded(BDDError):
 
 
 class BDDManager:
-    """A store of ROBDD nodes with the classical operator suite.
+    """A complement-edge store of ROBDD nodes with the classical
+    operator suite.
 
     Parameters
     ----------
@@ -84,16 +131,23 @@ class BDDManager:
         Optional permutation: ``order[k]`` is the variable placed at level
         ``k``.  Defaults to the identity.
     node_limit:
-        Hard cap on the node count; exceeded growth raises
+        Hard cap on the store row count; exceeded growth raises
         :class:`NodeLimitExceeded`.  ``None`` means unlimited.
     iterative:
         Evaluate operators with explicit stacks instead of Python
         recursion (for BDDs deeper than the recursion limit).  Results
-        and node ids are identical to the recursive engine.
+        and handles are identical to the recursive engine.
     """
 
     ZERO = 0
     ONE = 1
+
+    # Compiled per instance by _build_engines() (see module docstring).
+    apply_and: Callable[[int, int], int]
+    apply_or: Callable[[int, int], int]
+    apply_xor: Callable[[int, int], int]
+    apply_xnor: Callable[[int, int], int]
+    ite: Callable[[int, int, int], int]
 
     def __init__(
         self,
@@ -103,37 +157,31 @@ class BDDManager:
         node_limit: Optional[int] = None,
         iterative: bool = False,
     ) -> None:
-        # Parallel arrays indexed by node id.  Terminals occupy ids 0/1
-        # with a pseudo-variable of -1.
-        self._var: List[int] = [-1, -1]
-        self._lo: List[int] = [0, 1]
-        self._hi: List[int] = [0, 1]
+        # Struct-of-arrays store indexed by row.  Row 0 is the terminal
+        # (pseudo-variable -1, self-children); handle 0 = ZERO, handle
+        # 1 = its complement = ONE.  Stored children are handles; the
+        # stored hi handle is always regular (canonical form).
+        self._var: List[int] = [-1]
+        self._lo: List[int] = [0]
+        self._hi: List[int] = [0]
         self._unique: Dict[int, int] = {}
-        self._ite_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._and_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._or_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._xor_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._xnor_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._not_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
+        self._ite_cache: Dict[int, int] = {}
+        self._and_cache: Dict[int, int] = {}
+        self._xor_cache: Dict[int, int] = {}
         # Derived-query memos: composition results, node counts and
-        # supports keyed by node id.  Valid while node structure is
-        # immutable; in-place level swaps drop them via clear_caches().
-        self._compose_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._cofactor_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._size_cache: BoundedMemo[int, int] = BoundedMemo(OP_CACHE_CAP)
-        self._support_cache: BoundedMemo[int, "frozenset[int]"] = BoundedMemo(OP_CACHE_CAP)
+        # supports.  Valid while node structure is immutable; in-place
+        # level swaps drop them via clear_caches().
+        self._compose_cache: Dict[int, int] = {}
+        self._cofactor_cache: Dict[int, int] = {}
+        self._size_cache: Dict[int, int] = {}
+        self._support_cache: Dict[int, "frozenset[int]"] = {}
         self.node_limit = node_limit
         self.iterative = iterative
 
-        # Statistics counters (see cache_stats()); plain ints kept cheap
-        # enough to update unconditionally on the hot path.
-        self._unique_hits = 0
-        self._ite_hits = 0
-        self._and_hits = 0
-        self._or_hits = 0
-        self._xor_hits = 0
-        self._xnor_hits = 0
-        self._not_hits = 0
+        # Statistics counters (see cache_stats()): cache hits indexed by
+        # _H_*, plus the free-negation count.
+        self._hits: List[int] = [0, 0, 0, 0]
+        self._neg_free = 0
 
         self._names: List[str] = []
         self._level_of: List[int] = []
@@ -143,14 +191,15 @@ class BDDManager:
             self._new_var_slot(name)
         if order is not None:
             self.set_order(order)
-        if iterative:
-            # Swap in the explicit-stack engine (bit-identical results).
-            self.apply_and = self._and_iter  # type: ignore[method-assign]
-            self.apply_or = self._or_iter  # type: ignore[method-assign]
-            self.apply_xor = self._xor_iter  # type: ignore[method-assign]
-            self.apply_xnor = self._xnor_iter  # type: ignore[method-assign]
-            self.negate = self._negate_iter  # type: ignore[method-assign]
-            self._ite_core = self._ite_iter  # type: ignore[method-assign]
+        # Compile the operator engines as closures over the store
+        # columns and caches (see _build_engines).
+        (
+            self.apply_and,
+            self.apply_or,
+            self.apply_xor,
+            self.apply_xnor,
+            self.ite,
+        ) = _build_engines(self)
 
     # ------------------------------------------------------------------
     # Variables and order
@@ -168,7 +217,7 @@ class BDDManager:
 
     def set_order(self, order: Sequence[int]) -> None:
         """Set the variable order.  Only legal while no nodes exist yet."""
-        if len(self._var) > 2:
+        if len(self._var) > 1:
             raise BDDError("cannot change the order of a populated manager")
         if sorted(order) != list(range(self.num_vars)):
             raise BDDError(f"order {order!r} is not a permutation of 0..{self.num_vars - 1}")
@@ -182,7 +231,8 @@ class BDDManager:
 
     @property
     def num_nodes(self) -> int:
-        """Total nodes ever created (including terminals and dead nodes)."""
+        """Total store rows ever created (terminal row and dead rows
+        included).  A row represents a function *and* its complement."""
         return len(self._var)
 
     def var_name(self, v: int) -> str:
@@ -212,26 +262,34 @@ class BDDManager:
 
     @staticmethod
     def _ukey(v: int, lo: int, hi: int) -> int:
-        """Packed unique-table / ite-cache key for a triple."""
+        """Packed unique-table / ite-cache key for a stored triple."""
         return (v << (2 * _SHIFT)) | (lo << _SHIFT) | hi
 
     def _mk(self, v: int, lo: int, hi: int) -> int:
-        """Find-or-create the node ``(v, lo, hi)`` (with reduction)."""
+        """Find-or-create the function ``ite(v, hi, lo)`` (with
+        reduction and then-edge canonicalization); returns a handle."""
         if lo == hi:
             return lo
+        c = hi & 1
+        if c:
+            lo ^= 1
+            hi ^= 1
         key = (v << 64) | (lo << 32) | hi
-        node = self._unique.get(key)
-        if node is None:
-            node = len(self._var)
-            if self.node_limit is not None and node >= self.node_limit:
-                raise NodeLimitExceeded(f"manager exceeded {self.node_limit} nodes")
-            self._var.append(v)
+        var_col = self._var
+        row = len(var_col)
+        got = self._unique.setdefault(key, row)
+        if got == row:
+            limit = self.node_limit
+            if limit is not None and row >= limit:
+                del self._unique[key]
+                raise NodeLimitExceeded(f"manager exceeded {limit} nodes")
+            var_col.append(v)
             self._lo.append(lo)
             self._hi.append(hi)
-            self._unique[key] = node
         else:
-            self._unique_hits += 1
-        return node
+            self._hits[_H_UNIQUE] += 1
+            row = got
+        return (row << 1) | c
 
     def make_node(self, v: int, lo: int, hi: int) -> int:
         """Public find-or-create of the reduced node ``(v, lo, hi)``.
@@ -248,381 +306,43 @@ class BDDManager:
 
     def top_var(self, f: int) -> int:
         """Variable tested at the root of ``f`` (-1 for terminals)."""
-        return self._var[f]
+        return self._var[f >> 1]
 
     def lo(self, f: int) -> int:
-        """The 0-edge child (``E(u)`` in the paper)."""
-        return self._lo[f]
+        """The 0-edge cofactor handle (``E(u)`` in the paper)."""
+        return self._lo[f >> 1] ^ (f & 1)
 
     def hi(self, f: int) -> int:
-        """The 1-edge child (``T(u)`` in the paper)."""
-        return self._hi[f]
+        """The 1-edge cofactor handle (``T(u)`` in the paper)."""
+        return self._hi[f >> 1] ^ (f & 1)
 
     def node(self, f: int) -> Tuple[int, int, int]:
-        """Return ``(var, lo, hi)`` of node ``f``."""
-        return (self._var[f], self._lo[f], self._hi[f])
+        """Return ``(var, lo, hi)`` of ``f`` with the complement bit
+        resolved into the children — the cofactor view every structural
+        walk sees."""
+        i = f >> 1
+        p = f & 1
+        return (self._var[i], self._lo[i] ^ p, self._hi[i] ^ p)
 
     def _level(self, f: int) -> int:
         """Level of the variable at the root of ``f``; +inf for terminals."""
         if f <= 1:
             return len(self._names) + 1
-        return self._level_of[self._var[f]]
+        return self._level_of[self._var[f >> 1]]
 
     # ------------------------------------------------------------------
-    # ITE and Boolean connectives
+    # Boolean connectives
     # ------------------------------------------------------------------
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f·g ∨ ¬f·h``.  The universal connective.
-
-        Standard triples are normalized into the dedicated binary
-        operators before the generic recursion, so semantically equal
-        call shapes hit one shared cache entry.
-        """
-        # Terminal short circuits.
-        if f == self.ONE:
-            return g
-        if f == self.ZERO:
-            return h
-        if g == h:
-            return g
-        # Standard-triple normalization toward the binary operators.
-        if g == self.ONE:
-            if h == self.ZERO:
-                return f
-            return self.apply_or(f, h)
-        if h == self.ZERO:
-            return self.apply_and(f, g)
-        if g == self.ZERO and h == self.ONE:
-            return self.negate(f)
-        if f == g:
-            return self.apply_or(f, h)
-        if f == h:
-            return self.apply_and(f, g)
-        return self._ite_core(f, g, h)
-
-    def _ite_core(self, f: int, g: int, h: int) -> int:
-        """Generic ITE recursion (after normalization)."""
-        cache = self._ite_cache
-        key = (f << 64) | (g << 32) | h
-        r = cache.get(key)
-        if r is not None:
-            self._ite_hits += 1
-            return r
-        lvl = self._level_of
-        var = self._var
-        lo_a = self._lo
-        hi_a = self._hi
-        level = lvl[var[f]]
-        if g > 1:
-            lg = lvl[var[g]]
-            if lg < level:
-                level = lg
-        if h > 1:
-            lh = lvl[var[h]]
-            if lh < level:
-                level = lh
-        v = self._var_at_level[level]
-        if var[f] == v:
-            f0, f1 = lo_a[f], hi_a[f]
-        else:
-            f0 = f1 = f
-        if g > 1 and var[g] == v:
-            g0, g1 = lo_a[g], hi_a[g]
-        else:
-            g0 = g1 = g
-        if h > 1 and var[h] == v:
-            h0, h1 = lo_a[h], hi_a[h]
-        else:
-            h0 = h1 = h
-        lo = self.ite(f0, g0, h0)
-        hi = self.ite(f1, g1, h1)
-        r = lo if lo == hi else self._mk(v, lo, hi)
-        cache[key] = r
-        return r
-
-    def _split2(self, f: int, g: int) -> Tuple[int, int, int, int, int]:
-        """Top split of two nonterminal operands: ``(v, f0, f1, g0, g1)``."""
-        lvl = self._level_of
-        vf = self._var[f]
-        vg = self._var[g]
-        lf = lvl[vf]
-        lg = lvl[vg]
-        if lf < lg:
-            return vf, self._lo[f], self._hi[f], g, g
-        if lg < lf:
-            return vg, f, f, self._lo[g], self._hi[g]
-        return vf, self._lo[f], self._hi[f], self._lo[g], self._hi[g]
-
-    def apply_and(self, f: int, g: int) -> int:
-        """Conjunction ``f·g`` (dedicated recursion, operator cache)."""
-        if f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        if f < 2:
-            return g if f else 0
-        cache = self._and_cache
-        key = (f << 32) | g
-        r = cache.get(key)
-        if r is not None:
-            self._and_hits += 1
-            return r
-        v, f0, f1, g0, g1 = self._split2(f, g)
-        lo = self.apply_and(f0, g0)
-        hi = self.apply_and(f1, g1)
-        r = lo if lo == hi else self._mk(v, lo, hi)
-        cache[key] = r
-        return r
-
-    def apply_or(self, f: int, g: int) -> int:
-        """Disjunction ``f ∨ g`` (dedicated recursion, operator cache)."""
-        if f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        if f < 2:
-            return 1 if f else g
-        cache = self._or_cache
-        key = (f << 32) | g
-        r = cache.get(key)
-        if r is not None:
-            self._or_hits += 1
-            return r
-        v, f0, f1, g0, g1 = self._split2(f, g)
-        lo = self.apply_or(f0, g0)
-        hi = self.apply_or(f1, g1)
-        r = lo if lo == hi else self._mk(v, lo, hi)
-        cache[key] = r
-        return r
-
-    def apply_xor(self, f: int, g: int) -> int:
-        """Exclusive-or ``f ⊕ g``.
-
-        Dedicated recursion: complements appear only at 1-terminals of
-        the recursion instead of materializing ``negate(g)`` up front.
-        """
-        if f == g:
-            return 0
-        if f > g:
-            f, g = g, f
-        if f < 2:
-            return self.negate(g) if f else g
-        cache = self._xor_cache
-        key = (f << 32) | g
-        r = cache.get(key)
-        if r is not None:
-            self._xor_hits += 1
-            return r
-        v, f0, f1, g0, g1 = self._split2(f, g)
-        lo = self.apply_xor(f0, g0)
-        hi = self.apply_xor(f1, g1)
-        r = lo if lo == hi else self._mk(v, lo, hi)
-        cache[key] = r
-        return r
-
-    def apply_xnor(self, f: int, g: int) -> int:
-        """Equivalence ``f ⊙ g`` (dedicated recursion)."""
-        if f == g:
-            return 1
-        if f > g:
-            f, g = g, f
-        if f < 2:
-            return g if f else self.negate(g)
-        cache = self._xnor_cache
-        key = (f << 32) | g
-        r = cache.get(key)
-        if r is not None:
-            self._xnor_hits += 1
-            return r
-        v, f0, f1, g0, g1 = self._split2(f, g)
-        lo = self.apply_xnor(f0, g0)
-        hi = self.apply_xnor(f1, g1)
-        r = lo if lo == hi else self._mk(v, lo, hi)
-        cache[key] = r
-        return r
+    # The operator entry points — apply_and, apply_or, apply_xor,
+    # apply_xnor and ite — are instance attributes compiled once per
+    # manager by _build_engines() at the bottom of this module (see the
+    # module docstring for the hot-path rationale and the factory for
+    # the algorithms, normalization rules and cache discipline).
 
     def negate(self, f: int) -> int:
-        """Complement of ``f`` (O(|f|); there are no complement edges)."""
-        if f < 2:
-            return 1 - f
-        cache = self._not_cache
-        r = cache.get(f)
-        if r is not None:
-            self._not_hits += 1
-            return r
-        result = self._mk(self._var[f], self.negate(self._lo[f]), self.negate(self._hi[f]))
-        cache[f] = result
-        # Complement is an involution: seed the reverse entry too.
-        cache[result] = f
-        return result
-
-    # ------------------------------------------------------------------
-    # Explicit-stack engine (iterative=True)
-    # ------------------------------------------------------------------
-    # Each evaluator emulates its recursive twin exactly: same terminal
-    # rules, same cache keys, children explored 0-edge first, results
-    # combined in postorder.  Node creation order — and therefore every
-    # node id — is bit-identical to the recursive engine.
-
-    _OP_AND, _OP_OR, _OP_XOR, _OP_XNOR = 0, 1, 2, 3
-
-    def _binary_leaf(self, op: int, f: int, g: int) -> Tuple[int, int, Optional[int]]:
-        """Normalized operands plus the terminal result (or ``None``)."""
-        if f == g:
-            return f, g, (f, f, 0, 1)[op]
-        if f > g:
-            f, g = g, f
-        if f < 2:
-            if op == 0:
-                return f, g, (g if f else 0)
-            if op == 1:
-                return f, g, (1 if f else g)
-            if op == 2:
-                return f, g, (self.negate(g) if f else g)
-            return f, g, (g if f else self.negate(g))
-        return f, g, None
-
-    def _binary_iter(self, op: int, f: int, g: int) -> int:
-        cache = (self._and_cache, self._or_cache, self._xor_cache, self._xnor_cache)[op]
-        todo: List[Tuple[int, ...]] = [(0, f, g)]
-        out: List[int] = []
-        while todo:
-            frame = todo.pop()
-            if frame[0] == 0:
-                _, a, b = frame
-                a, b, res = self._binary_leaf(op, a, b)
-                if res is not None:
-                    out.append(res)
-                    continue
-                key = (a << 32) | b
-                r = cache.get(key)
-                if r is not None:
-                    if op == 0:
-                        self._and_hits += 1
-                    elif op == 1:
-                        self._or_hits += 1
-                    elif op == 2:
-                        self._xor_hits += 1
-                    else:
-                        self._xnor_hits += 1
-                    out.append(r)
-                    continue
-                v, a0, a1, b0, b1 = self._split2(a, b)
-                todo.append((1, key, v))
-                todo.append((0, a1, b1))
-                todo.append((0, a0, b0))
-            else:
-                _, key, v = frame
-                hi = out.pop()
-                lo = out.pop()
-                r = lo if lo == hi else self._mk(v, lo, hi)
-                cache[key] = r
-                out.append(r)
-        return out[0]
-
-    def _and_iter(self, f: int, g: int) -> int:
-        return self._binary_iter(0, f, g)
-
-    def _or_iter(self, f: int, g: int) -> int:
-        return self._binary_iter(1, f, g)
-
-    def _xor_iter(self, f: int, g: int) -> int:
-        return self._binary_iter(2, f, g)
-
-    def _xnor_iter(self, f: int, g: int) -> int:
-        return self._binary_iter(3, f, g)
-
-    def _negate_iter(self, f: int) -> int:
-        if f < 2:
-            return 1 - f
-        cache = self._not_cache
-        todo: List[Tuple[int, int]] = [(0, f)]
-        out: List[int] = []
-        while todo:
-            phase, n = todo.pop()
-            if phase == 0:
-                if n < 2:
-                    out.append(1 - n)
-                    continue
-                r = cache.get(n)
-                if r is not None:
-                    self._not_hits += 1
-                    out.append(r)
-                    continue
-                todo.append((1, n))
-                todo.append((0, self._hi[n]))
-                todo.append((0, self._lo[n]))
-            else:
-                hi = out.pop()
-                lo = out.pop()
-                r = self._mk(self._var[n], lo, hi)
-                cache[n] = r
-                cache[r] = n
-                out.append(r)
-        return out[0]
-
-    def _ite_iter(self, f: int, g: int, h: int) -> int:
-        cache = self._ite_cache
-        todo: List[Tuple[int, ...]] = [(0, f, g, h)]
-        out: List[int] = []
-        while todo:
-            frame = todo.pop()
-            if frame[0] == 0:
-                _, a, b, c = frame
-                # Mirror of ite()'s normalization (binary ops and negate
-                # are already iterative here, so no Python recursion).
-                if a == 1:
-                    out.append(b)
-                    continue
-                if a == 0:
-                    out.append(c)
-                    continue
-                if b == c:
-                    out.append(b)
-                    continue
-                if b == 1:
-                    out.append(a if c == 0 else self.apply_or(a, c))
-                    continue
-                if c == 0:
-                    out.append(self.apply_and(a, b))
-                    continue
-                if b == 0 and c == 1:
-                    out.append(self.negate(a))
-                    continue
-                if a == b:
-                    out.append(self.apply_or(a, c))
-                    continue
-                if a == c:
-                    out.append(self.apply_and(a, b))
-                    continue
-                key = (a << 64) | (b << 32) | c
-                r = cache.get(key)
-                if r is not None:
-                    self._ite_hits += 1
-                    out.append(r)
-                    continue
-                lvl = self._level_of
-                var = self._var
-                level = lvl[var[a]]
-                if b > 1 and lvl[var[b]] < level:
-                    level = lvl[var[b]]
-                if c > 1 and lvl[var[c]] < level:
-                    level = lvl[var[c]]
-                v = self._var_at_level[level]
-                a0, a1 = (self._lo[a], self._hi[a]) if var[a] == v else (a, a)
-                b0, b1 = (self._lo[b], self._hi[b]) if b > 1 and var[b] == v else (b, b)
-                c0, c1 = (self._lo[c], self._hi[c]) if c > 1 and var[c] == v else (c, c)
-                todo.append((1, key, v))
-                todo.append((0, a1, b1, c1))
-                todo.append((0, a0, b0, c0))
-            else:
-                _, key, v = frame
-                hi = out.pop()
-                lo = out.pop()
-                r = lo if lo == hi else self._mk(v, lo, hi)
-                cache[key] = r
-                out.append(r)
-        return out[0]
+        """Complement of ``f`` — one bit flip on the handle (O(1))."""
+        self._neg_free += 1
+        return f ^ 1
 
     def apply_many(self, op: str, funcs: Sequence[int]) -> int:
         """Fold ``op`` ('and'/'or'/'xor') over ``funcs``."""
@@ -649,10 +369,11 @@ class BDDManager:
     def cofactor(self, f: int, v: int, value: bool) -> int:
         """Restrict: ``f`` with variable ``v`` fixed to ``value``.
 
-        Memoized manager-wide, keyed ``(node, v, value)`` — the
-        collapse phase restricts the same fanout function on the same
-        variable once per merge probe, and :meth:`compose` calls both
-        polarities back to back.
+        Memoized manager-wide on the *regular* handle (cofactoring
+        commutes with complement, so ``¬f`` resolves from ``f``'s entry
+        with one bit flip) — the collapse phase restricts the same
+        fanout function on the same variable once per merge probe, and
+        :meth:`compose` calls both polarities back to back.
         """
         target_level = self._level_of[v]
         level_of = self._level_of
@@ -667,19 +388,23 @@ class BDDManager:
         def walk(node: int) -> int:
             if node <= 1:
                 return node
-            lvl = level_of[var_a[node]]
+            p = node & 1
+            node ^= p
+            i = node >> 1
+            lvl = level_of[var_a[i]]
             if lvl > target_level:
-                return node
+                return node ^ p
             key = (node << _SHIFT) | tag
             got = cache_get(key)
-            if got is not None:
-                return got
-            if lvl == target_level:
-                result = hi_a[node] if value else lo_a[node]
-            else:
-                result = mk(var_a[node], walk(lo_a[node]), walk(hi_a[node]))
-            cache[key] = result
-            return result
+            if got is None:
+                if lvl == target_level:
+                    got = hi_a[i] if value else lo_a[i]
+                else:
+                    got = mk(var_a[i], walk(lo_a[i]), walk(hi_a[i]))
+                if len(cache) >= OP_CACHE_CAP:
+                    cache.clear()
+                cache[key] = got
+            return got ^ p
 
         return walk(f)
 
@@ -692,10 +417,13 @@ class BDDManager:
         every iteration.
         """
         key = (f << (2 * _SHIFT)) | (v << _SHIFT) | g
-        got = self._compose_cache.get(key)
+        cache = self._compose_cache
+        got = cache.get(key)
         if got is None:
             got = self.ite(g, self.cofactor(f, v, True), self.cofactor(f, v, False))
-            self._compose_cache[key] = got
+            if len(cache) >= OP_CACHE_CAP:
+                cache.clear()
+            cache[key] = got
         return got
 
     def exists(self, f: int, variables: Iterable[int]) -> int:
@@ -724,7 +452,8 @@ class BDDManager:
         """Memoized support as a shared frozenset (no per-call copy —
         the DP's base-case test probes supports millions of times).
 
-        The memo is *per node*, computed post-order: ``support(n) =
+        The memo is *per store row* (a function and its complement have
+        the same support), computed post-order: ``support(n) =
         support(lo) ∪ support(hi) ∪ {var(n)}``.  The DP's sub-BDD
         functions share substructure heavily, so most queries resolve
         from already-computed children instead of re-walking the DAG.
@@ -733,25 +462,26 @@ class BDDManager:
             return _EMPTY_SUPPORT
         cache = self._support_cache
         cache_get = cache.get
-        result = cache_get(f)
+        root = f >> 1
+        result = cache_get(root)
         if result is not None:
             return result
         var = self._var
         lo = self._lo
         hi = self._hi
-        stack = [f]
+        stack = [root]
         push = stack.append
         while stack:
-            node = stack[-1]
-            got = cache_get(node)
+            row = stack[-1]
+            got = cache_get(row)
             if got is not None:
                 stack.pop()
                 result = got
                 continue
-            lc = lo[node]
-            hc = hi[node]
-            ls = _EMPTY_SUPPORT if lc <= 1 else cache_get(lc)
-            hs = _EMPTY_SUPPORT if hc <= 1 else cache_get(hc)
+            lc = lo[row] >> 1
+            hc = hi[row] >> 1
+            ls = _EMPTY_SUPPORT if lc == 0 else cache_get(lc)
+            hs = _EMPTY_SUPPORT if hc == 0 else cache_get(hc)
             if ls is None or hs is None:
                 if ls is None:
                     push(lc)
@@ -761,8 +491,10 @@ class BDDManager:
             stack.pop()
             # The tested variable sits strictly above both children's
             # supports, so the union never needs a membership check.
-            result = ls | hs | {var[node]}
-            cache[node] = result
+            result = ls | hs | {var[row]}
+            if len(cache) >= OP_CACHE_CAP:
+                cache.clear()
+            cache[row] = result
         return result
 
     def support_ordered(self, f: int) -> List[int]:
@@ -770,18 +502,24 @@ class BDDManager:
         return sorted(self.support_frozen(f), key=lambda v: self._level_of[v])
 
     def count_nodes(self, f: int) -> int:
-        """Number of nodes reachable from ``f``, including terminals
+        """Number of distinct cofactor functions reachable from ``f``,
+        including terminals — the plain (explicit-polarity) BDD size
         (memoized — collapse gain scoring sizes the same BDDs over and
         over)."""
-        got = self._size_cache.get(f)
+        cache = self._size_cache
+        got = cache.get(f)
         if got is None:
             got = len(self.reachable(f))
-            self._size_cache[f] = got
+            if len(cache) >= OP_CACHE_CAP:
+                cache.clear()
+            cache[f] = got
         return got
 
     def count_nodes_multi(self, roots: Iterable[int]) -> int:
         """Shared node count of several roots, including terminals."""
         seen: Set[int] = set()
+        lo = self._lo
+        hi = self._hi
         stack = list(roots)
         while stack:
             node = stack.pop()
@@ -789,12 +527,17 @@ class BDDManager:
                 continue
             seen.add(node)
             if node > 1:
-                stack.append(self._lo[node])
-                stack.append(self._hi[node])
+                p = node & 1
+                i = node >> 1
+                stack.append(lo[i] ^ p)
+                stack.append(hi[i] ^ p)
         return len(seen)
 
     def reachable(self, f: int) -> Set[int]:
-        """All node ids reachable from ``f`` (terminals included)."""
+        """All handles reachable from ``f`` through cofactor edges
+        (terminals included).  This is the node set of the plain BDD of
+        ``f``: a row visited through both polarities contributes two
+        handles, exactly as an explicit-polarity store would."""
         seen: Set[int] = set()
         stack = [f]
         lo = self._lo
@@ -808,18 +551,23 @@ class BDDManager:
                 continue
             seen_add(node)
             if node > 1:
-                push(lo[node])
-                push(hi[node])
+                p = node & 1
+                i = node >> 1
+                push(lo[i] ^ p)
+                push(hi[i] ^ p)
         return seen
 
     def eval(self, f: int, assignment: "Dict[int, bool] | Sequence[bool]") -> bool:
         """Evaluate ``f`` under ``assignment`` (dict var→bool or sequence)."""
         node = f
+        var = self._var
+        lo = self._lo
+        hi = self._hi
         while node > 1:
-            v = self._var[node]
-            value = assignment[v]
-            node = self._hi[node] if value else self._lo[node]
-        return node == self.ONE
+            p = node & 1
+            i = node >> 1
+            node = (hi[i] if assignment[var[i]] else lo[i]) ^ p
+        return node == 1
 
     def sat_count(self, f: int, num_vars: Optional[int] = None) -> int:
         """Number of satisfying assignments over ``num_vars`` variables."""
@@ -833,15 +581,17 @@ class BDDManager:
                 return 0, num_vars
             if node == self.ONE:
                 return 1, num_vars
+            i = node >> 1
             if node in cache:
                 count = cache[node]
             else:
-                c0, l0 = walk(self._lo[node])
-                c1, l1 = walk(self._hi[node])
-                my_level = self._level_of[self._var[node]]
+                p = node & 1
+                c0, l0 = walk(self._lo[i] ^ p)
+                c1, l1 = walk(self._hi[i] ^ p)
+                my_level = self._level_of[self._var[i]]
                 count = c0 * (1 << (l0 - my_level - 1)) + c1 * (1 << (l1 - my_level - 1))
                 cache[node] = count
-            return count, self._level_of[self._var[node]]
+            return count, self._level_of[self._var[i]]
 
         count, level = walk(f)
         return count * (1 << level)
@@ -853,47 +603,60 @@ class BDDManager:
         assignment: Dict[int, bool] = {}
         node = f
         while node > 1:
-            if self._hi[node] != self.ZERO:
-                assignment[self._var[node]] = True
-                node = self._hi[node]
+            p = node & 1
+            i = node >> 1
+            hi = self._hi[i] ^ p
+            if hi != self.ZERO:
+                assignment[self._var[i]] = True
+                node = hi
             else:
-                assignment[self._var[node]] = False
-                node = self._lo[node]
+                assignment[self._var[i]] = False
+                node = self._lo[i] ^ p
         return assignment
 
     def iter_nodes(self, f: int) -> Iterator[Tuple[int, int, int, int]]:
-        """Yield ``(id, var, lo, hi)`` of every nonterminal under ``f``."""
+        """Yield ``(handle, var, lo, hi)`` of every nonterminal handle
+        under ``f`` (cofactor view, deterministic handle order)."""
         for node in sorted(self.reachable(f)):
             if node > 1:
-                yield node, self._var[node], self._lo[node], self._hi[node]
+                p = node & 1
+                i = node >> 1
+                yield node, self._var[i], self._lo[i] ^ p, self._hi[i] ^ p
+
+    def iter_store_rows(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield ``(row, var, lo, hi)`` for every nonterminal store row
+        with the *stored* child handles (then-edge always regular)."""
+        var = self._var
+        lo = self._lo
+        hi = self._hi
+        for row in range(1, len(var)):
+            yield row, var[row], lo[row], hi[row]
 
     # ------------------------------------------------------------------
     # Cache introspection
     # ------------------------------------------------------------------
     def iter_unique_items(self) -> Iterator[Tuple[Tuple[int, int, int], int]]:
-        """Yield ``((var, lo, hi), node)`` for every unique-table entry."""
-        for key, node in self._unique.items():
-            yield (key >> (2 * _SHIFT), (key >> _SHIFT) & _MASK, key & _MASK), node
+        """Yield ``((var, lo, hi), row)`` for every unique-table entry.
+        ``lo``/``hi`` are the stored child handles of the row."""
+        for key, row in self._unique.items():
+            yield (key >> (2 * _SHIFT), (key >> _SHIFT) & _MASK, key & _MASK), row
 
     def iter_ite_items(self) -> Iterator[Tuple[Tuple[int, int, int], int]]:
-        """Yield ``((f, g, h), result)`` for every ite-cache entry."""
+        """Yield ``((f, g, h), result)`` for every ite-cache entry
+        (normalized handles: ``f`` and ``g`` regular)."""
         for key, r in self._ite_cache.items():
             yield (key >> (2 * _SHIFT), (key >> _SHIFT) & _MASK, key & _MASK), r
 
     def iter_binary_cache_items(self, op: str) -> Iterator[Tuple[Tuple[int, int], int]]:
-        """Yield ``((f, g), result)`` entries of one binary-operator cache."""
+        """Yield ``((f, g), result)`` entries of one binary-operator
+        cache.  Only ``"and"`` and ``"xor"`` caches physically exist;
+        OR/XNOR are complement wrappers over them."""
         cache = {
             "and": self._and_cache,
-            "or": self._or_cache,
             "xor": self._xor_cache,
-            "xnor": self._xnor_cache,
         }[op]
         for key, r in cache.items():
             yield (key >> _SHIFT, key & _MASK), r
-
-    def iter_not_items(self) -> Iterator[Tuple[int, int]]:
-        """Yield ``(f, negate(f))`` for every negation-cache entry."""
-        yield from self._not_cache.items()
 
     def cache_stats(self) -> Dict[str, int]:
         """Unique-table and operator-cache counters (cheap snapshot).
@@ -901,24 +664,29 @@ class BDDManager:
         ``*_hits`` counts cache hits since construction; ``*_entries``
         is the current entry count (misses that produced a result).
         ``unique_hits`` counts node find-or-create calls satisfied by an
-        existing node.
+        existing row.  Complement-edge wins: ``neg_free`` is negations
+        served as a bit flip (the previous engine walked and hashed the
+        whole DAG per call), ``unique_saved`` is distinct functions
+        materialized minus store rows — node entries the complement
+        canonicalization avoided storing — and ``store_bytes`` is the
+        memory footprint of the three store columns.
         """
+        hits = self._hits
         return {
             "nodes": len(self._var),
             "unique_entries": len(self._unique),
-            "unique_hits": self._unique_hits,
+            "unique_hits": hits[_H_UNIQUE],
             "ite_entries": len(self._ite_cache),
-            "ite_hits": self._ite_hits,
+            "ite_hits": hits[_H_ITE],
             "and_entries": len(self._and_cache),
-            "and_hits": self._and_hits,
-            "or_entries": len(self._or_cache),
-            "or_hits": self._or_hits,
+            "and_hits": hits[_H_AND],
             "xor_entries": len(self._xor_cache),
-            "xor_hits": self._xor_hits,
-            "xnor_entries": len(self._xnor_cache),
-            "xnor_hits": self._xnor_hits,
-            "not_entries": len(self._not_cache),
-            "not_hits": self._not_hits,
+            "xor_hits": hits[_H_XOR],
+            "neg_free": self._neg_free,
+            "unique_saved": len({lo >> 1 for lo in self._lo if lo & 1}),
+            "store_bytes": (
+                sys.getsizeof(self._var) + sys.getsizeof(self._lo) + sys.getsizeof(self._hi)
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -970,55 +738,73 @@ class BDDManager:
         record: Optional[List[Tuple[int, int, int, int, int]]] = None,
     ) -> int:
         """Swap the variables at ``level`` and ``level + 1`` in place.
-        Returns the number of nodes rewritten (0 means no structure
+        Returns the number of store rows rewritten (0 means no structure
         changed — the two variables never interact, only the level maps
         moved — so callers may skip any reachability recount).
 
         ``record``, when given, receives one tuple
-        ``(node, old_lo, old_hi, new_lo, new_hi)`` per rewritten node —
-        exactly the edge deltas a caller needs to maintain reachability
-        information incrementally (see :func:`repro.bdd.reorder
-        .sift_inplace`).
+        ``(row, old_lo, old_hi, new_lo, new_hi)`` per rewritten row with
+        the *stored* child handles — exactly the edge deltas a caller
+        needs to maintain reachability information incrementally (both
+        polarities of the parent row see the deltas through their own
+        complement bit; see :func:`repro.bdd.reorder.sift_inplace`).
 
-        Implements the classical adjacent-variable swap: every node
+        Implements the classical adjacent-variable swap: every row
         testing the upper variable ``x`` whose children test the lower
-        variable ``y`` is rewritten (in place, so all node ids keep
-        their functions) to test ``y`` with freshly hashed ``x``
-        children; other nodes move levels implicitly.  All caches are
-        dropped.  Intended for single-function managers during sifting
-        (:func:`repro.bdd.reorder.sift_inplace`).
+        variable ``y`` is rewritten (in place, so every handle keeps its
+        function) to test ``y`` with freshly hashed ``x`` children.
+        Canonical form is preserved: the stored then-edge is regular, so
+        its cofactors are stored directly and the rebuilt then-child
+        ``_mk(x, f01, f11)`` has a regular then-edge again.  All caches
+        are dropped.  Intended for single-function managers during
+        sifting (:func:`repro.bdd.reorder.sift_inplace`).
 
-        ``nodes``, when given, restricts the rewrite to that candidate
-        id set (pass the nodes reachable from the function being
-        sifted; dead nodes then keep stale structure, which is harmless
-        because no valid operation can re-request their unique-table
-        keys).  Without it, every node in the manager is rewritten.
+        ``nodes``, when given, restricts the rewrite to the rows behind
+        that candidate *handle* set (pass the handles reachable from the
+        function being sifted; dead rows then keep stale structure,
+        which is harmless because no valid operation can re-request
+        their unique-table keys).  Without it, every row is rewritten.
         """
         x = self._var_at_level[level]
         y = self._var_at_level[level + 1]
         var = self._var
-        pool = range(2, len(var)) if nodes is None else nodes
-        xs = [n for n in pool if n > 1 and var[n] == x]
+        lo_a = self._lo
+        hi_a = self._hi
+        unique = self._unique
+        mk = self._mk
+        if nodes is None:
+            xs: List[int] = [n for n in range(1, len(var)) if var[n] == x]
+        else:
+            # Filter to x-rows while deduping handle polarities: the
+            # x-level is tiny next to the live set, so materializing and
+            # sorting only it keeps the per-swap cost at one cheap pass.
+            xs = sorted({h >> 1 for h in nodes if h > 1 and var[h >> 1] == x})
         rewritten = 0
         for n in xs:
-            lo, hi = self._lo[n], self._hi[n]
-            lo_tests_y = lo > 1 and var[lo] == y
-            hi_tests_y = hi > 1 and var[hi] == y
+            lo, hi = lo_a[n], hi_a[n]
+            lc = lo & 1
+            li = lo >> 1
+            hi_i = hi >> 1
+            lo_tests_y = lo > 1 and var[li] == y
+            hi_tests_y = hi > 1 and var[hi_i] == y
             if not lo_tests_y and not hi_tests_y:
                 continue  # independent of y: moves down a level as-is
-            f11 = self._hi[hi] if hi_tests_y else hi
-            f10 = self._lo[hi] if hi_tests_y else hi
-            f01 = self._hi[lo] if lo_tests_y else lo
-            f00 = self._lo[lo] if lo_tests_y else lo
-            del self._unique[(x << 64) | (lo << 32) | hi]
-            new_hi = self._mk(x, f01, f11)
-            new_lo = self._mk(x, f00, f10)
+            # Stored hi is regular, so its cofactors are stored directly;
+            # the lo child resolves through its complement bit.
+            f11 = hi_a[hi_i] if hi_tests_y else hi
+            f10 = lo_a[hi_i] if hi_tests_y else hi
+            f01 = (hi_a[li] ^ lc) if lo_tests_y else lo
+            f00 = (lo_a[li] ^ lc) if lo_tests_y else lo
+            del unique[(x << 64) | (lo << 32) | hi]
+            new_hi = mk(x, f01, f11)
+            new_lo = mk(x, f00, f10)
             # n becomes ite(y, new_hi, new_lo); hi' == lo' cannot happen
-            # for a reduced node (see tests), so n stays a real node.
+            # for a reduced node (see tests), so n stays a real row, and
+            # new_hi is regular (f11 is), keeping the canonical form.
             var[n] = y
-            self._lo[n] = new_lo
-            self._hi[n] = new_hi
-            self._unique[(y << 64) | (new_lo << 32) | new_hi] = n
+            lo_a[n] = new_lo
+            hi_a[n] = new_hi
+            unique[(y << 64) | (new_lo << 32) | new_hi] = n
             rewritten += 1
             if record is not None:
                 record.append((n, lo, hi, new_lo, new_hi))
@@ -1038,10 +824,7 @@ class BDDManager:
         kept)."""
         self._ite_cache.clear()
         self._and_cache.clear()
-        self._or_cache.clear()
         self._xor_cache.clear()
-        self._xnor_cache.clear()
-        self._not_cache.clear()
         self._compose_cache.clear()
         self._cofactor_cache.clear()
         self._size_cache.clear()
@@ -1050,9 +833,9 @@ class BDDManager:
     def compact(self, roots: Sequence[int]) -> Tuple["BDDManager", List[int]]:
         """Garbage-collect: rebuild only the given roots in a fresh
         manager (same variables, names, and order).  Long-running
-        construction (e.g. iterated collapsing) accumulates dead nodes;
+        construction (e.g. iterated collapsing) accumulates dead rows;
         this reclaims them.  Returns ``(new_manager, new_roots)`` —
-        previously held node ids are only valid in the old manager."""
+        previously held handles are only valid in the old manager."""
         fresh = BDDManager(
             self.num_vars,
             var_names=[self.var_name(v) for v in range(self.num_vars)],
@@ -1091,3 +874,742 @@ class BDDManager:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BDDManager vars={self.num_vars} nodes={self.num_nodes}>"
+
+
+def _build_engines(
+    mgr: BDDManager,
+) -> Tuple[
+    Callable[[int, int], int],
+    Callable[[int, int], int],
+    Callable[[int, int], int],
+    Callable[[int, int], int],
+    Callable[[int, int, int], int],
+]:
+    """Compile the operator engines of ``mgr`` as closures.
+
+    Called once, at the end of ``__init__``.  Returns
+    ``(apply_and, apply_or, apply_xor, apply_xnor, ite)``.
+
+    The engines capture the store columns, level maps, caches and the
+    hit-counter list as closure cells, so the recursive hot loops run
+    with **zero attribute lookups**: cache probes go through pre-bound
+    ``dict.get``, the top-variable split and the unique-table
+    find-or-create (:meth:`BDDManager._mk`) are inlined, and
+    self-recursion binds through a fast cell load instead of a bound
+    method.  Every captured container is mutated *in place* by the
+    manager (``add_var`` appends to the level maps, ``clear_caches``
+    clears the dicts, level swaps rewrite the columns) and never
+    rebound, so the closures always see current state.
+
+    Semantics (shared by both engine families):
+
+    * ``apply_and`` — dedicated binary recursion.  The complement-pair
+      test ``f == ¬g`` is an O(1) xor; ``apply_or`` funnels into the
+      same cache via De Morgan (``f ∨ g = ¬(¬f · ¬g)``).
+    * ``apply_xor`` — strips the complement bits of both operands up
+      front (``¬f ⊕ g = ¬(f ⊕ g)``), so the cache is keyed on regular
+      handles only and all four polarity combinations share one entry;
+      ``apply_xnor`` is its free-complement wrapper.
+    * ``ite`` — re-derives the standard-triple normalization for
+      complemented handles: the if-operand is made regular (swapping
+      the branches), branch operands equal to ``f``/``¬f`` reduce to
+      constants in O(1), constant branches route into the shared
+      AND/XOR machinery, and the generic recursion canonicalizes the
+      then-branch polarity (``ite(f, ¬g, ¬h) = ¬ite(f, g, h)``) so an
+      ITE and its complement share one cache entry.
+    * Caches are plain dicts cleared wholesale at :data:`OP_CACHE_CAP`
+      entries; canonicity makes the clear invisible to results and node
+      counts (recomputation re-requests the same triples and resolves
+      through unique-table hits).
+
+    ``mgr.iterative`` selects explicit-stack twins that perform the
+    same algorithm in the same order — same cache keys, same
+    node-creation order, handles bit-identical to the recursive engine
+    — without consuming Python stack frames (for BDDs deeper than the
+    recursion limit).
+    """
+    var_a = mgr._var
+    lo_a = mgr._lo
+    hi_a = mgr._hi
+    lvl = mgr._level_of
+    vat = mgr._var_at_level
+    unique = mgr._unique
+    unique_get = unique.get
+    unique_setdefault = unique.setdefault
+    and_cache = mgr._and_cache
+    and_get = and_cache.get
+    xor_cache = mgr._xor_cache
+    xor_get = xor_cache.get
+    ite_cache = mgr._ite_cache
+    ite_get = ite_cache.get
+    hits = mgr._hits
+    var_append = var_a.append
+    lo_append = lo_a.append
+    hi_append = hi_a.append
+    cap = OP_CACHE_CAP
+    h_unique, h_ite, h_and, h_xor = _H_UNIQUE, _H_ITE, _H_AND, _H_XOR
+
+    def mk(v: int, lo: int, hi: int) -> int:
+        # Closure twin of BDDManager._mk for the explicit-stack engines;
+        # the recursive engines inline this body at their two call sites.
+        if lo == hi:
+            return lo
+        c = hi & 1
+        if c:
+            lo ^= 1
+            hi ^= 1
+        key = (v << 64) | (lo << 32) | hi
+        row = unique_get(key)
+        if row is None:
+            row = len(var_a)
+            limit = mgr.node_limit
+            if limit is not None and row >= limit:
+                raise NodeLimitExceeded(f"manager exceeded {limit} nodes")
+            var_append(v)
+            lo_append(lo)
+            hi_append(hi)
+            unique[key] = row
+        else:
+            hits[h_unique] += 1
+        return (row << 1) | c
+
+    # ------------------------------------------------------------------
+    # Recursive engines
+    # ------------------------------------------------------------------
+    # Each binary engine is split into a public entry (terminal rules,
+    # operand canonicalization, cache probe) and a *core* that receives
+    # the packed cache key it must fill.  Recursion sites inside the
+    # cores resolve terminal children and probe the cache inline, so a
+    # cache hit — the common steady-state outcome — never pays a Python
+    # call, and a miss enters the core directly without re-checking or
+    # re-probing.  The inline sequences are exactly the entry's early
+    # returns, so results, cache contents and node-creation order are
+    # bit-identical to the naive self-recursion.
+
+    def and_core(f: int, g: int, key: int) -> int:
+        # Pre: f < g, both nonterminal, not complements, cache missed.
+        fi = f >> 1
+        gi = g >> 1
+        vf = var_a[fi]
+        vg = var_a[gi]
+        lf = lvl[vf]
+        lg = lvl[vg]
+        if lf <= lg:
+            v = vf
+            fc = f & 1
+            f0 = lo_a[fi] ^ fc
+            f1 = hi_a[fi] ^ fc
+            if lg == lf:
+                gc = g & 1
+                g0 = lo_a[gi] ^ gc
+                g1 = hi_a[gi] ^ gc
+            else:
+                g0 = g1 = g
+        else:
+            v = vg
+            f0 = f1 = f
+            gc = g & 1
+            g0 = lo_a[gi] ^ gc
+            g1 = hi_a[gi] ^ gc
+        if f0 < 2:
+            lo = g0 if f0 else 0
+        elif g0 < 2:
+            lo = f0 if g0 else 0
+        elif f0 == g0:
+            lo = f0
+        elif f0 ^ g0 == 1:
+            lo = 0
+        else:
+            if f0 > g0:
+                f0, g0 = g0, f0
+            k = (f0 << 32) | g0
+            lo = and_get(k)
+            if lo is not None:
+                hits[h_and] += 1
+            else:
+                lo = and_core(f0, g0, k)
+        if f1 < 2:
+            hi = g1 if f1 else 0
+        elif g1 < 2:
+            hi = f1 if g1 else 0
+        elif f1 == g1:
+            hi = f1
+        elif f1 ^ g1 == 1:
+            hi = 0
+        else:
+            if f1 > g1:
+                f1, g1 = g1, f1
+            k = (f1 << 32) | g1
+            hi = and_get(k)
+            if hi is not None:
+                hits[h_and] += 1
+            else:
+                hi = and_core(f1, g1, k)
+        if lo == hi:
+            r = lo
+        else:
+            c = hi & 1
+            if c:
+                lo ^= 1
+                hi ^= 1
+            ukey = (v << 64) | (lo << 32) | hi
+            row = len(var_a)
+            got = unique_setdefault(ukey, row)
+            if got == row:
+                limit = mgr.node_limit
+                if limit is not None and row >= limit:
+                    del unique[ukey]
+                    raise NodeLimitExceeded(f"manager exceeded {limit} nodes")
+                var_append(v)
+                lo_append(lo)
+                hi_append(hi)
+            else:
+                hits[h_unique] += 1
+                row = got
+            r = (row << 1) | c
+        if len(and_cache) >= cap:
+            and_cache.clear()
+        and_cache[key] = r
+        return r
+
+    def apply_and(f: int, g: int) -> int:
+        """Conjunction ``f·g``."""
+        x = f ^ g
+        if x < 2:
+            return f if x == 0 else 0
+        if f < 2:
+            return g if f else 0
+        if g < 2:
+            return f if g else 0
+        if f > g:
+            f, g = g, f
+        key = (f << 32) | g
+        r = and_get(key)
+        if r is not None:
+            hits[h_and] += 1
+            return r
+        return and_core(f, g, key)
+
+    def apply_or(f: int, g: int) -> int:
+        """Disjunction ``f ∨ g`` — De Morgan wrapper sharing the AND
+        cache."""
+        return apply_and(f ^ 1, g ^ 1) ^ 1
+
+    def xor_core(f: int, g: int, key: int) -> int:
+        # Pre: f < g, both regular nonterminal, distinct, cache missed.
+        fi = f >> 1
+        gi = g >> 1
+        vf = var_a[fi]
+        vg = var_a[gi]
+        lf = lvl[vf]
+        lg = lvl[vg]
+        if lf <= lg:
+            v = vf
+            f0 = lo_a[fi]
+            f1 = hi_a[fi]
+            if lg == lf:
+                g0 = lo_a[gi]
+                g1 = hi_a[gi]
+            else:
+                g0 = g1 = g
+        else:
+            v = vg
+            f0 = f1 = f
+            g0 = lo_a[gi]
+            g1 = hi_a[gi]
+        p0 = (f0 ^ g0) & 1
+        f0 &= -2
+        g0 &= -2
+        if f0 == g0:
+            lo = p0
+        elif f0 == 0:
+            lo = g0 | p0
+        elif g0 == 0:
+            lo = f0 | p0
+        else:
+            if f0 > g0:
+                f0, g0 = g0, f0
+            k = (f0 << 32) | g0
+            lo = xor_get(k)
+            if lo is not None:
+                hits[h_xor] += 1
+            else:
+                lo = xor_core(f0, g0, k)
+            lo ^= p0
+        p1 = (f1 ^ g1) & 1
+        f1 &= -2
+        g1 &= -2
+        if f1 == g1:
+            hi = p1
+        elif f1 == 0:
+            hi = g1 | p1
+        elif g1 == 0:
+            hi = f1 | p1
+        else:
+            if f1 > g1:
+                f1, g1 = g1, f1
+            k = (f1 << 32) | g1
+            hi = xor_get(k)
+            if hi is not None:
+                hits[h_xor] += 1
+            else:
+                hi = xor_core(f1, g1, k)
+            hi ^= p1
+        if lo == hi:
+            r = lo
+        else:
+            cc = hi & 1
+            if cc:
+                lo ^= 1
+                hi ^= 1
+            ukey = (v << 64) | (lo << 32) | hi
+            row = len(var_a)
+            got = unique_setdefault(ukey, row)
+            if got == row:
+                limit = mgr.node_limit
+                if limit is not None and row >= limit:
+                    del unique[ukey]
+                    raise NodeLimitExceeded(f"manager exceeded {limit} nodes")
+                var_append(v)
+                lo_append(lo)
+                hi_append(hi)
+            else:
+                hits[h_unique] += 1
+                row = got
+            r = (row << 1) | cc
+        if len(xor_cache) >= cap:
+            xor_cache.clear()
+        xor_cache[key] = r
+        return r
+
+    def apply_xor(f: int, g: int) -> int:
+        """Exclusive-or ``f ⊕ g`` (polarity-stripped cache keys)."""
+        c = (f ^ g) & 1
+        f &= -2
+        g &= -2
+        if f == g:
+            return c
+        if f == 0:
+            return g | c
+        if g == 0:
+            return f | c
+        if f > g:
+            f, g = g, f
+        key = (f << 32) | g
+        r = xor_get(key)
+        if r is not None:
+            hits[h_xor] += 1
+            return r ^ c
+        return xor_core(f, g, key) ^ c
+
+    def apply_xnor(f: int, g: int) -> int:
+        """Equivalence ``f ⊙ g = ¬(f ⊕ g)`` (free complement)."""
+        return apply_xor(f, g) ^ 1
+
+    def ite(f: int, g: int, h: int) -> int:
+        """If-then-else ``f·g ∨ ¬f·h`` — the universal connective."""
+        if f == 1:
+            return g
+        if f == 0:
+            return h
+        if g == h:
+            return g
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        # f is now a regular nonterminal handle; f ^ 1 == f + 1.
+        if g == f:
+            g = 1
+        elif g == f + 1:
+            g = 0
+        if h == f:
+            h = 0
+        elif h == f + 1:
+            h = 1
+        if g == h:
+            return g
+        # Constant-branch triples route into the shared binary engines.
+        # The operand pairs here are never terminal, equal or complement
+        # (those shapes were normalized away above), so the AND entry
+        # checks are skipped and the cache is probed directly.
+        if g == 1:
+            if h == 0:
+                return f
+            a = f ^ 1  # f ∨ h = ¬(¬f · ¬h)
+            b = h ^ 1
+            if a > b:
+                a, b = b, a
+            k = (a << 32) | b
+            r = and_get(k)
+            if r is not None:
+                hits[h_and] += 1
+                return r ^ 1
+            return and_core(a, b, k) ^ 1
+        if g == 0:
+            if h == 1:
+                return f ^ 1
+            a = f ^ 1  # ¬f · h
+            b = h
+            if a > b:
+                a, b = b, a
+            k = (a << 32) | b
+            r = and_get(k)
+            if r is not None:
+                hits[h_and] += 1
+                return r
+            return and_core(a, b, k)
+        if h == 0:
+            a = f  # f · g
+            b = g
+            if a > b:
+                a, b = b, a
+            k = (a << 32) | b
+            r = and_get(k)
+            if r is not None:
+                hits[h_and] += 1
+                return r
+            return and_core(a, b, k)
+        if h == 1:
+            a = f  # f → g, i.e. ¬(f · ¬g)
+            b = g ^ 1
+            if a > b:
+                a, b = b, a
+            k = (a << 32) | b
+            r = and_get(k)
+            if r is not None:
+                hits[h_and] += 1
+                return r ^ 1
+            return and_core(a, b, k) ^ 1
+        if g ^ h == 1:
+            # ite(f, g, ¬g) = f ⊙ h with the XOR engine's parity strip.
+            c = (f ^ h) & 1
+            a = f & -2
+            b = h & -2
+            if a == b:
+                return c
+            if a > b:
+                a, b = b, a
+            k = (a << 32) | b
+            r = xor_get(k)
+            if r is not None:
+                hits[h_xor] += 1
+                return r ^ c
+            return xor_core(a, b, k) ^ c
+        n = g & 1
+        if n:
+            g ^= 1
+            h ^= 1
+        key = (f << 64) | (g << 32) | h
+        r = ite_get(key)
+        if r is not None:
+            hits[h_ite] += 1
+            return r ^ n
+        fi = f >> 1
+        gi = g >> 1
+        hj = h >> 1
+        vf = var_a[fi]
+        vg = var_a[gi]
+        vh = var_a[hj]
+        level = lvl[vf]
+        tmp = lvl[vg]
+        if tmp < level:
+            level = tmp
+        tmp = lvl[vh]
+        if tmp < level:
+            level = tmp
+        v = vat[level]
+        if vf == v:
+            f0 = lo_a[fi]
+            f1 = hi_a[fi]
+        else:
+            f0 = f1 = f
+        if vg == v:
+            g0 = lo_a[gi]
+            g1 = hi_a[gi]
+        else:
+            g0 = g1 = g
+        if vh == v:
+            hc = h & 1
+            h0 = lo_a[hj] ^ hc
+            h1 = hi_a[hj] ^ hc
+        else:
+            h0 = h1 = h
+        # Inline the callee's first three early returns to skip the
+        # Python call on trivial leaves; bit-identical results.
+        if f0 == 1:
+            lo = g0
+        elif f0 == 0:
+            lo = h0
+        elif g0 == h0:
+            lo = g0
+        else:
+            lo = ite(f0, g0, h0)
+        if f1 == 1:
+            hi = g1
+        elif f1 == 0:
+            hi = h1
+        elif g1 == h1:
+            hi = g1
+        else:
+            hi = ite(f1, g1, h1)
+        if lo == hi:
+            r = lo
+        else:
+            c = hi & 1
+            if c:
+                lo ^= 1
+                hi ^= 1
+            ukey = (v << 64) | (lo << 32) | hi
+            row = len(var_a)
+            got = unique_setdefault(ukey, row)
+            if got == row:
+                limit = mgr.node_limit
+                if limit is not None and row >= limit:
+                    del unique[ukey]
+                    raise NodeLimitExceeded(f"manager exceeded {limit} nodes")
+                var_append(v)
+                lo_append(lo)
+                hi_append(hi)
+            else:
+                hits[h_unique] += 1
+                row = got
+            r = (row << 1) | c
+        if len(ite_cache) >= cap:
+            ite_cache.clear()
+        ite_cache[key] = r
+        return r ^ n
+
+    if not mgr.iterative:
+        return apply_and, apply_or, apply_xor, apply_xnor, ite
+
+    # ------------------------------------------------------------------
+    # Explicit-stack engines (iterative=True)
+    # ------------------------------------------------------------------
+    # Each evaluator emulates its recursive twin exactly: same terminal
+    # rules, same cache keys, children explored 0-edge first, results
+    # combined in postorder.  Node creation order — and therefore every
+    # handle — is bit-identical to the recursive engine.  OR/XNOR/NOT
+    # need no engine of their own: they are O(1) wrappers over AND/XOR.
+
+    def and_iter(f: int, g: int) -> int:
+        """Conjunction ``f·g`` (explicit stack)."""
+        todo: List[Tuple[int, int, int]] = [(0, f, g)]
+        out: List[int] = []
+        while todo:
+            tag, a, b = todo.pop()
+            if tag == 0:
+                if a == b:
+                    out.append(a)
+                    continue
+                if a ^ b == 1:
+                    out.append(0)
+                    continue
+                if a < 2:
+                    out.append(b if a else 0)
+                    continue
+                if b < 2:
+                    out.append(a if b else 0)
+                    continue
+                if a > b:
+                    a, b = b, a
+                key = (a << 32) | b
+                r = and_get(key)
+                if r is not None:
+                    hits[h_and] += 1
+                    out.append(r)
+                    continue
+                ai = a >> 1
+                bi = b >> 1
+                va = var_a[ai]
+                vb = var_a[bi]
+                la = lvl[va]
+                lb = lvl[vb]
+                if la <= lb:
+                    v = va
+                    ac = a & 1
+                    a0 = lo_a[ai] ^ ac
+                    a1 = hi_a[ai] ^ ac
+                    if lb == la:
+                        bc = b & 1
+                        b0 = lo_a[bi] ^ bc
+                        b1 = hi_a[bi] ^ bc
+                    else:
+                        b0 = b1 = b
+                else:
+                    v = vb
+                    a0 = a1 = a
+                    bc = b & 1
+                    b0 = lo_a[bi] ^ bc
+                    b1 = hi_a[bi] ^ bc
+                todo.append((1, key, v))
+                todo.append((0, a1, b1))
+                todo.append((0, a0, b0))
+            else:
+                key, v = a, b
+                hi = out.pop()
+                lo = out.pop()
+                r = lo if lo == hi else mk(v, lo, hi)
+                if len(and_cache) >= cap:
+                    and_cache.clear()
+                and_cache[key] = r
+                out.append(r)
+        return out[0]
+
+    def or_iter(f: int, g: int) -> int:
+        """Disjunction (De Morgan wrapper over the AND engine)."""
+        return and_iter(f ^ 1, g ^ 1) ^ 1
+
+    def xor_iter(f: int, g: int) -> int:
+        """Exclusive-or ``f ⊕ g`` (explicit stack)."""
+        todo: List[Tuple[int, ...]] = [(0, f, g)]
+        out: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == 0:
+                _, a, b = frame
+                c = (a ^ b) & 1
+                a &= -2
+                b &= -2
+                if a == b:
+                    out.append(c)
+                    continue
+                if a == 0:
+                    out.append(b | c)
+                    continue
+                if b == 0:
+                    out.append(a | c)
+                    continue
+                if a > b:
+                    a, b = b, a
+                key = (a << 32) | b
+                r = xor_get(key)
+                if r is not None:
+                    hits[h_xor] += 1
+                    out.append(r ^ c)
+                    continue
+                ai = a >> 1
+                bi = b >> 1
+                va = var_a[ai]
+                vb = var_a[bi]
+                la = lvl[va]
+                lb = lvl[vb]
+                if la <= lb:
+                    v = va
+                    a0 = lo_a[ai]
+                    a1 = hi_a[ai]
+                    if lb == la:
+                        b0 = lo_a[bi]
+                        b1 = hi_a[bi]
+                    else:
+                        b0 = b1 = b
+                else:
+                    v = vb
+                    a0 = a1 = a
+                    b0 = lo_a[bi]
+                    b1 = hi_a[bi]
+                todo.append((1, key, v, c))
+                todo.append((0, a1, b1))
+                todo.append((0, a0, b0))
+            else:
+                _, key, v, c = frame
+                hi = out.pop()
+                lo = out.pop()
+                r = lo if lo == hi else mk(v, lo, hi)
+                if len(xor_cache) >= cap:
+                    xor_cache.clear()
+                xor_cache[key] = r
+                out.append(r ^ c)
+        return out[0]
+
+    def xnor_iter(f: int, g: int) -> int:
+        """Equivalence (free-complement wrapper over the XOR engine)."""
+        return xor_iter(f, g) ^ 1
+
+    def ite_iter(f: int, g: int, h: int) -> int:
+        """If-then-else (explicit stack; binary subcases route into the
+        iterative AND/XOR engines, so no Python recursion anywhere)."""
+        todo: List[Tuple[int, ...]] = [(0, f, g, h)]
+        out: List[int] = []
+        while todo:
+            frame = todo.pop()
+            if frame[0] == 0:
+                _, a, b, c = frame
+                if a == 1:
+                    out.append(b)
+                    continue
+                if a == 0:
+                    out.append(c)
+                    continue
+                if b == c:
+                    out.append(b)
+                    continue
+                if a & 1:
+                    a ^= 1
+                    b, c = c, b
+                if b == a:
+                    b = 1
+                elif b == a + 1:
+                    b = 0
+                if c == a:
+                    c = 0
+                elif c == a + 1:
+                    c = 1
+                if b == c:
+                    out.append(b)
+                    continue
+                if b == 1:
+                    out.append(a if c == 0 else and_iter(a ^ 1, c ^ 1) ^ 1)
+                    continue
+                if b == 0:
+                    out.append(a ^ 1 if c == 1 else and_iter(a ^ 1, c))
+                    continue
+                if c == 0:
+                    out.append(and_iter(a, b))
+                    continue
+                if c == 1:
+                    out.append(and_iter(a, b ^ 1) ^ 1)
+                    continue
+                if b ^ c == 1:
+                    out.append(xor_iter(a, c))
+                    continue
+                n = b & 1
+                if n:
+                    b ^= 1
+                    c ^= 1
+                key = (a << 64) | (b << 32) | c
+                r = ite_get(key)
+                if r is not None:
+                    hits[h_ite] += 1
+                    out.append(r ^ n)
+                    continue
+                ai = a >> 1
+                bi = b >> 1
+                ci = c >> 1
+                level = lvl[var_a[ai]]
+                if lvl[var_a[bi]] < level:
+                    level = lvl[var_a[bi]]
+                if lvl[var_a[ci]] < level:
+                    level = lvl[var_a[ci]]
+                v = vat[level]
+                a0, a1 = (lo_a[ai], hi_a[ai]) if var_a[ai] == v else (a, a)
+                b0, b1 = (lo_a[bi], hi_a[bi]) if var_a[bi] == v else (b, b)
+                if var_a[ci] == v:
+                    cc = c & 1
+                    c0, c1 = lo_a[ci] ^ cc, hi_a[ci] ^ cc
+                else:
+                    c0 = c1 = c
+                todo.append((1, key, v, n))
+                todo.append((0, a1, b1, c1))
+                todo.append((0, a0, b0, c0))
+            else:
+                _, key, v, n = frame
+                hi = out.pop()
+                lo = out.pop()
+                r = lo if lo == hi else mk(v, lo, hi)
+                if len(ite_cache) >= cap:
+                    ite_cache.clear()
+                ite_cache[key] = r
+                out.append(r ^ n)
+        return out[0]
+
+    return and_iter, or_iter, xor_iter, xnor_iter, ite_iter

@@ -104,9 +104,11 @@ def sift_inplace(
     ref_get = ref.get
     for node in live:
         if node > 1:
-            c = lo_a[node]
+            p = node & 1
+            i = node >> 1
+            c = lo_a[i] ^ p
             ref[c] = ref_get(c, 0) + 1
-            c = hi_a[node]
+            c = hi_a[i] ^ p
             ref[c] = ref_get(c, 0) + 1
     live_add = live.add
     live_discard = live.discard
@@ -131,17 +133,32 @@ def sift_inplace(
         # gained, then all dropped).  Reference counts are additive, and
         # every birth/death transition re-pins/releases its children, so
         # the final live set is independent of the processing order.
+        # The record carries *stored* child handles per rewritten row;
+        # each live polarity of the row sees the deltas through its own
+        # complement bit.
         incs: List[int] = []
         decs: List[int] = []
         ipush = incs.append
         dpush = decs.append
-        for _n, old_lo, old_hi, new_lo, new_hi in record:
-            if new_lo != old_lo:
-                ipush(new_lo)
-                dpush(old_lo)
-            if new_hi != old_hi:
-                ipush(new_hi)
-                dpush(old_hi)
+        for row, old_lo, old_hi, new_lo, new_hi in record:
+            h = row << 1
+            lo_moved = new_lo != old_lo
+            hi_moved = new_hi != old_hi
+            if h in live:
+                if lo_moved:
+                    ipush(new_lo)
+                    dpush(old_lo)
+                if hi_moved:
+                    ipush(new_hi)
+                    dpush(old_hi)
+            h |= 1
+            if h in live:
+                if lo_moved:
+                    ipush(new_lo ^ 1)
+                    dpush(old_lo ^ 1)
+                if hi_moved:
+                    ipush(new_hi ^ 1)
+                    dpush(old_hi ^ 1)
         while incs:
             m = incs.pop()
             r = ref_get(m, 0)
@@ -149,8 +166,8 @@ def sift_inplace(
             if r == 0:
                 live_add(m)
                 if m > 1:
-                    ipush(lo_a[m])
-                    ipush(hi_a[m])
+                    ipush(lo_a[m >> 1] ^ (m & 1))
+                    ipush(hi_a[m >> 1] ^ (m & 1))
         while decs:
             m = decs.pop()
             r = ref[m] - 1
@@ -158,8 +175,8 @@ def sift_inplace(
             if r == 0:
                 live_discard(m)
                 if m > 1:
-                    dpush(lo_a[m])
-                    dpush(hi_a[m])
+                    dpush(lo_a[m >> 1] ^ (m & 1))
+                    dpush(hi_a[m >> 1] ^ (m & 1))
         return len(live)
 
     for v in priority:

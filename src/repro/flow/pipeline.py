@@ -165,6 +165,11 @@ class Pipeline:
                     bdd_nodes_created=max(0, bdd1.get("nodes", 0) - bdd0.get("nodes", 0)),
                     bdd_cache_hits=_counter_delta(bdd0, bdd1, "_hits"),
                     bdd_cache_misses=_counter_delta(bdd0, bdd1, "_entries"),
+                    bdd_neg_free=max(
+                        0, bdd1.get("neg_free", 0) - bdd0.get("neg_free", 0)
+                    ),
+                    bdd_unique_saved=bdd1.get("unique_saved", 0),
+                    bdd_store_bytes=bdd1.get("store_bytes", 0),
                     failures=len(state.stats.failures) - failures0,
                 )
             )

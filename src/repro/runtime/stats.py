@@ -67,6 +67,9 @@ PASS_TELEMETRY_KEYS = (
     "bdd_cache_hits",
     "bdd_cache_misses",
     "bdd_cache_hit_rate",
+    "bdd_neg_free",
+    "bdd_unique_saved",
+    "bdd_store_bytes",
     "failures",
 )
 
@@ -164,6 +167,15 @@ class PassTelemetry:
     :mod:`resource` module is unavailable); ``rss_delta_kb`` its growth
     across the pass.  ``failures`` counts the :class:`FailureReport`
     rows the pass added (recovered faults/budget breaches).
+
+    The complement-edge columns expose how much the tagged-handle store
+    (DESIGN.md §7) is paying off: ``bdd_neg_free`` counts negations the
+    pass got as O(1) bit flips (delta of the managers' ``neg_free``
+    counter), ``bdd_unique_saved`` the store rows shared between a
+    function and its complement at the end of the pass (rows an
+    explicit-polarity store would have duplicated), and
+    ``bdd_store_bytes`` the end-of-pass footprint of the three store
+    columns.  The latter two are gauges, not deltas.
     """
 
     name: str
@@ -174,6 +186,9 @@ class PassTelemetry:
     bdd_nodes_created: int = 0
     bdd_cache_hits: int = 0
     bdd_cache_misses: int = 0
+    bdd_neg_free: int = 0
+    bdd_unique_saved: int = 0
+    bdd_store_bytes: int = 0
     failures: int = 0
 
     @property
@@ -194,6 +209,9 @@ class PassTelemetry:
             "bdd_cache_hits": self.bdd_cache_hits,
             "bdd_cache_misses": self.bdd_cache_misses,
             "bdd_cache_hit_rate": round(self.cache_hit_rate, 4),
+            "bdd_neg_free": self.bdd_neg_free,
+            "bdd_unique_saved": self.bdd_unique_saved,
+            "bdd_store_bytes": self.bdd_store_bytes,
             "failures": self.failures,
         }
 

@@ -48,6 +48,12 @@ class MetricsRegistry:
         self.supernodes = 0
         self.failures_recovered = 0
         self.cache: Dict[str, int] = {k: 0 for k in _CACHE_COUNTERS}
+        #: Complement-edge store counters (see DESIGN.md §7): free
+        #: negations and shared rows summed over jobs; the peak store
+        #: column footprint of any single pass.
+        self.bdd_neg_free = 0
+        self.bdd_unique_saved = 0
+        self.bdd_store_bytes_peak = 0
         #: name -> (calls, wall seconds, verify seconds) per pass.
         self.pass_seconds: Dict[str, List[float]] = {}
         #: stage name -> accumulated wall seconds.
@@ -67,12 +73,21 @@ class MetricsRegistry:
             self.cache[key] += int(stats.get(key, 0))
         for name, seconds in dict(stats.get("stage_seconds", {})).items():
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + float(seconds)
+        last_unique_saved = 0
         for row in stats.get("passes", []):
             name = str(row.get("name", "?"))
             cell = self.pass_seconds.setdefault(name, [0.0, 0.0, 0.0])
             cell[0] += 1.0
             cell[1] += float(row.get("seconds", 0.0))
             cell[2] += float(row.get("verify_seconds", 0.0))
+            self.bdd_neg_free += int(row.get("bdd_neg_free", 0))
+            # unique_saved/store_bytes are end-of-pass gauges: the
+            # job's contribution is its final pass's value / its peak.
+            last_unique_saved = int(row.get("bdd_unique_saved", last_unique_saved))
+            self.bdd_store_bytes_peak = max(
+                self.bdd_store_bytes_peak, int(row.get("bdd_store_bytes", 0))
+            )
+        self.bdd_unique_saved += last_unique_saved
         for failure in stats.get("failures", []):
             kind = str(failure.get("kind", "?"))
             self.failure_kinds[kind] = self.failure_kinds.get(kind, 0) + 1
@@ -95,6 +110,9 @@ class MetricsRegistry:
             "failures_recovered": self.failures_recovered,
             "failure_kinds": dict(self.failure_kinds),
             **{k: v for k, v in self.cache.items()},
+            "bdd_neg_free": self.bdd_neg_free,
+            "bdd_unique_saved": self.bdd_unique_saved,
+            "bdd_store_bytes_peak": self.bdd_store_bytes_peak,
             "stage_seconds": {k: round(v, 4) for k, v in self.stage_seconds.items()},
             "passes": {
                 name: {
@@ -159,6 +177,24 @@ class MetricsRegistry:
             "Recovered runtime failures by kind.",
             [(f'{{kind="{k}"}}', float(v)) for k, v in sorted(self.failure_kinds.items())]
             or [("", 0.0)],
+        )
+        emit(
+            "ddbdd_bdd_neg_free_total",
+            "counter",
+            "Negations served as O(1) complement-bit flips, summed over jobs.",
+            [("", float(self.bdd_neg_free))],
+        )
+        emit(
+            "ddbdd_bdd_unique_rows_saved_total",
+            "counter",
+            "Store rows shared between a function and its complement, summed over jobs.",
+            [("", float(self.bdd_unique_saved))],
+        )
+        emit(
+            "ddbdd_bdd_store_bytes_peak",
+            "gauge",
+            "Peak byte footprint of the BDD store columns in any pass.",
+            [("", float(self.bdd_store_bytes_peak))],
         )
         emit(
             "ddbdd_pass_seconds_total",

@@ -1,4 +1,4 @@
-"""DD2xx: BDD-manager invariant checker."""
+"""DD2xx: BDD-manager invariant checker (array store, complement edges)."""
 
 from __future__ import annotations
 
@@ -30,58 +30,75 @@ def test_clean_random_functions():
     assert errors_of(check_bdd_manager(mgr, roots=roots)) == []
 
 
+def test_clean_under_complemented_roots():
+    # A complemented handle shares its row with the regular one; audits
+    # must accept either polarity as a root.
+    rng = random.Random(13)
+    mgr = BDDManager(6)
+    roots = [random_truth_function(mgr, 6, rng) for _ in range(5)]
+    roots += [mgr.negate(r) for r in roots]
+    assert errors_of(check_bdd_manager(mgr, roots=roots)) == []
+
+
 def test_sifted_manager_stays_clean():
     rng = random.Random(11)
     mgr = BDDManager(7)
     f = random_truth_function(mgr, 7, rng)
     sift_inplace(mgr, f)
     # Live-set audit must hold even after in-place level swaps (a whole
-    # store audit may not: dead nodes legally carry stale structure).
+    # store audit may not: dead rows legally carry stale structure).
     assert errors_of(check_bdd_manager(mgr, roots=[f])) == []
 
 
 def test_dd202_edge_order_mutant():
     mgr, f = _mgr_and()
-    # Corrupt: retarget an internal node's variable to its parent's, so
+    # Corrupt: retarget an internal row's variable to its parent's, so
     # a 1-edge no longer descends in the order.
     child = mgr.hi(f)
     assert child > 1
-    mgr._var[child] = mgr.top_var(f)
+    mgr._var[child >> 1] = mgr.top_var(f)
     diags = check_bdd_manager(mgr, roots=[f])
     assert has_code(diags, "DD202")
 
 
 def test_dd203_unreduced_node_mutant():
     mgr, f = _mgr_and()
-    mgr._lo[f] = mgr.hi(f)
+    mgr._lo[f >> 1] = mgr._hi[f >> 1]
     assert has_code(check_bdd_manager(mgr, roots=[f]), "DD203")
 
 
 def test_dd204_unique_table_mutant():
     mgr, f = _mgr_and()
-    key = mgr._ukey(*mgr.node(f))
-    mgr._unique[key] = mgr.hi(f)  # wrong id for the triple
+    row = f >> 1
+    key = mgr._ukey(mgr._var[row], mgr._lo[row], mgr._hi[row])
+    mgr._unique[key] = mgr.hi(f) >> 1  # wrong row for the triple
+    assert has_code(check_bdd_manager(mgr, roots=[f]), "DD204")
+
+
+def test_dd204_dangling_child_index_mutant():
+    mgr, f = _mgr_and()
+    # Point a stored child past the end of the columns.
+    mgr._lo[f >> 1] = 2 * mgr.num_nodes + 4
     assert has_code(check_bdd_manager(mgr, roots=[f]), "DD204")
 
 
 def test_dd204_live_node_missing_from_unique_table():
     mgr, f = _mgr_and()
-    del mgr._unique[mgr._ukey(*mgr.node(f))]
+    row = f >> 1
+    del mgr._unique[mgr._ukey(mgr._var[row], mgr._lo[row], mgr._hi[row])]
     assert has_code(check_bdd_manager(mgr, roots=[f]), "DD204")
-    # Whole-store audits tolerate it (dead nodes after sifting).
+    # Whole-store audits tolerate it (dead rows after sifting).
     assert not has_code(check_bdd_manager(mgr), "DD204")
 
 
 def test_dd205_compute_cache_mutant():
     mgr, f = _mgr_and()
-    mgr._ite_cache[mgr._ukey(f, 1, 0)] = mgr.num_nodes + 5
+    mgr._ite_cache[mgr._ukey(f, 1, 0)] = 2 * mgr.num_nodes + 5
     assert has_code(check_bdd_manager(mgr), "DD205")
     mgr.clear_caches()
-    g = mgr.negate(f)
-    # Pair two nodes testing different variables as "complements".
-    mgr._not_cache[f] = mgr.hi(g) if mgr.hi(g) > 1 else mgr.lo(g)
-    diags = check_bdd_manager(mgr)
-    assert has_code(diags, "DD205")
+    # Poison a binary cache with an out-of-range result handle.
+    mgr._and_cache[(f << 32) | f] = 2 * mgr.num_nodes + 7
+    assert has_code(check_bdd_manager(mgr), "DD205")
 
 
 def test_dd206_order_map_mutant():
@@ -92,5 +109,19 @@ def test_dd206_order_map_mutant():
 
 def test_dd201_terminal_mutant():
     mgr, _ = _mgr_and()
-    mgr._lo[1] = 0
+    mgr._lo[0] = 1
     assert has_code(check_bdd_manager(mgr), "DD201")
+
+
+def test_dd207_complemented_then_edge_mutant():
+    mgr, f = _mgr_and()
+    row = f >> 1
+    assert mgr._hi[row] != mgr._lo[row]
+    mgr._hi[row] ^= 1  # violate the canonical regular then-edge form
+    assert has_code(check_bdd_manager(mgr, roots=[f]), "DD207")
+
+
+def test_dd207_column_length_mutant():
+    mgr, _ = _mgr_and()
+    mgr._var.append(0)  # columns out of step
+    assert has_code(check_bdd_manager(mgr), "DD207")

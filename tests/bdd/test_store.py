@@ -1,0 +1,105 @@
+"""Complement-edge store invariants (DESIGN.md §7).
+
+The manager's canonical form stores every then-edge regular: the
+complement bit lives on handles only, never on a row's ``hi`` column.
+These properties pin that invariant under arbitrary construction
+routes, and check that the two store iterators — the resolved cofactor
+view (:meth:`iter_nodes`) and the raw unique table
+(:meth:`iter_unique_items`) — round-trip through ``make_node`` without
+creating rows, complemented root handles included.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDDManager
+
+
+_BITS = st.lists(st.integers(0, 1), min_size=16, max_size=16)
+
+
+def _populate(bits, bits2):
+    """A manager grown through every operator family, plus negations."""
+    m = BDDManager(4)
+    f = m.from_truth_table(bits, [0, 1, 2, 3])
+    g = m.from_truth_table(bits2, [0, 1, 2, 3])
+    m.apply_and(f, m.negate(g))
+    m.apply_or(m.negate(f), g)
+    m.apply_xor(f, g)
+    m.ite(f, g, m.negate(f))
+    return m, f, g
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=_BITS, bits2=_BITS)
+def test_property_no_complemented_then_edge(bits, bits2):
+    """Every stored row keeps a regular then-edge (DD207 invariant)."""
+    m, _, _ = _populate(bits, bits2)
+    for row, var, lo, hi in m.iter_store_rows():
+        assert hi & 1 == 0, f"row {row} ({var}) stores complemented then-edge {hi}"
+    # Terminal row never mutates.
+    assert (m._var[0], m._lo[0], m._hi[0]) == (-1, 0, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=_BITS)
+def test_property_negation_shares_row(bits):
+    """``f`` and ``¬f`` are one store row apart by exactly the tag bit,
+    and negating is free (no new rows)."""
+    m = BDDManager(4)
+    f = m.from_truth_table(bits, [0, 1, 2, 3])
+    before = m.num_nodes
+    nf = m.negate(f)
+    assert nf == f ^ 1
+    assert m.num_nodes == before
+
+
+def _rebuild_via_iter_nodes(mgr: BDDManager, f: int) -> int:
+    """Reconstruct ``f`` from its cofactor-view triples alone."""
+    triples = {h: (v, lo, hi) for h, v, lo, hi in mgr.iter_nodes(f)}
+    memo: dict = {}
+
+    def go(h: int) -> int:
+        if h <= 1:
+            return h
+        got = memo.get(h)
+        if got is None:
+            v, lo, hi = triples[h]
+            got = memo[h] = mgr.make_node(v, go(lo), go(hi))
+        return got
+
+    return go(f)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=_BITS, bits2=_BITS)
+def test_iter_nodes_roundtrip_under_complemented_handles(bits, bits2):
+    """Rebuilding from ``iter_nodes`` returns the *identical* handle —
+    for the regular and the complemented root — without growing the
+    store.  This is what guarantees consumers that walk the resolved
+    view (leveled DP, DAG export) see a faithful structure."""
+    m, f, g = _populate(bits, bits2)
+    for root in (f, m.negate(f), g, m.negate(g)):
+        before = m.num_nodes
+        assert _rebuild_via_iter_nodes(m, root) == root
+        assert m.num_nodes == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=_BITS, bits2=_BITS)
+def test_iter_unique_items_roundtrip(bits, bits2):
+    """Every unique-table entry agrees with the store columns and
+    find-or-creates back to its own row handle, creating nothing."""
+    m, _, _ = _populate(bits, bits2)
+    before = m.num_nodes
+    count = 0
+    for (var, lo, hi), row in m.iter_unique_items():
+        assert (m._var[row], m._lo[row], m._hi[row]) == (var, lo, hi)
+        assert hi & 1 == 0
+        assert m.make_node(var, lo, hi) == row << 1
+        count += 1
+    assert m.num_nodes == before
+    # One registration per nonterminal row — the complement-sharing
+    # store keeps the unique table exactly as large as the row count.
+    assert count == before - 1
