@@ -1,0 +1,266 @@
+"""Fleet scheduler benchmarks: N concurrent requests vs N serial runs.
+
+Measures the tentpole claim of the fleet refactor: N simultaneous
+submissions of the same circuit through the process-wide
+:class:`~repro.runtime.fleet.FleetScheduler` (shared tiered cache +
+singleflight dedup) complete in less wall time than the same N requests
+run back-to-back cold, because every duplicated supernode signature is
+computed once and shared in flight.  A tier microbenchmark times the
+memory-vs-sqlite read path so cache-stack regressions show up directly.
+
+Noise discipline matches ``bench_kernel.py``: every scenario runs
+``REPEATS`` times and the *median* wall time is reported, with the
+repeat count, statistic and interpreter version stamped into the JSON.
+Each scenario also reports a structural fingerprint (depth/area/network
+hash); a fingerprint change means the comparison is meaningless and the
+baseline must be regenerated deliberately.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full + quick, write baseline
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick    # quick scenarios only
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick --check  # CI gate
+
+``--check`` enforces two lines against the committed
+``BENCH_fleet.json``: no scenario regressed by more than 2x, and the
+concurrent fan-in still beats the N cold serial runs it replaces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from repro.core import DDBDDConfig, ddbdd_synthesize  # noqa: E402
+from repro.runtime.fleet import reset_fleet  # noqa: E402
+from tests.conftest import random_gate_network  # noqa: E402
+from tests.runtime.helpers import net_dump  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_fleet.json"
+REGRESSION_FACTOR = 2.0
+REPEATS = 5
+
+#: (requests in flight, gates in the workload circuit) per mode.
+_SHAPES = {"quick": (2, 40), "full": (4, 80)}
+
+
+def _net(quick: bool):
+    _, gates = _SHAPES["quick" if quick else "full"]
+    return random_gate_network(77, n_pi=10, n_gates=gates, n_po=6)
+
+
+def _cfg(root: Path) -> DDBDDConfig:
+    return DDBDDConfig(
+        jobs=1, cache="readwrite", cache_dir=str(root), faults=None,
+    )
+
+
+def _fingerprint(result) -> int:
+    return zlib.crc32(
+        repr((result.depth, result.area, net_dump(result.network))).encode()
+    )
+
+
+def bench_serial_n(quick: bool, workdir: Path) -> Tuple[int, Dict[str, float]]:
+    """N back-to-back cold runs, each with its own cache root — the
+    pre-fleet cost of N independent submissions."""
+    n, _ = _SHAPES["quick" if quick else "full"]
+    net = _net(quick)
+    fp = 0
+    for i in range(n):
+        reset_fleet()
+        root = workdir / f"serial{i}"
+        result = ddbdd_synthesize(net, _cfg(root))
+        fp = _fingerprint(result)
+        shutil.rmtree(root, ignore_errors=True)
+    return fp, {}
+
+
+def bench_concurrent_dedup(quick: bool, workdir: Path) -> Tuple[int, Dict[str, float]]:
+    """The same N requests submitted simultaneously against one shared
+    cache root: singleflight computes each signature once."""
+    n, _ = _SHAPES["quick" if quick else "full"]
+    net = _net(quick)
+    reset_fleet()
+    root = workdir / "shared"
+    results: List = [None] * n
+    errors: List = []
+
+    def run(i: int) -> None:
+        try:
+            results[i] = ddbdd_synthesize(net, _cfg(root))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    shutil.rmtree(root, ignore_errors=True)
+    fingerprints = {_fingerprint(r) for r in results}
+    if len(fingerprints) != 1:
+        raise SystemExit("concurrent requests diverged — determinism bug")
+    misses = sum(r.runtime_stats.cache_misses for r in results)
+    deduped = sum(r.runtime_stats.dedup_hits for r in results)
+    hits = sum(r.runtime_stats.cache_hits for r in results)
+    ratio = (deduped + hits) / misses if misses else 0.0
+    return fingerprints.pop(), {"dedup_ratio": round(ratio, 4)}
+
+
+def bench_tier_reads(quick: bool, workdir: Path) -> Tuple[int, Dict[str, float]]:
+    """Warm read path through the tier stack: memory hits vs sqlite hits
+    (memory tier cleared between rounds)."""
+    from repro.runtime.tiers import TieredEmissionCache
+
+    net = _net(quick)
+    reset_fleet()
+    root = workdir / "reads"
+    ddbdd_synthesize(net, _cfg(root))  # populate tiers
+    store = TieredEmissionCache(root)
+    keys = store.disk.keys()
+    rounds = 40 if quick else 120
+    fp = zlib.crc32(repr(sorted(keys)).encode())
+    for _ in range(rounds):
+        store.memory.clear()
+        for key in keys:  # sqlite round (misses memory, hits disk)
+            if store.get(key) is None:
+                raise SystemExit(f"tier stack lost key {key}")
+        for key in keys:  # memory round (promoted by the line above)
+            if store.get(key) is None:
+                raise SystemExit(f"memory tier lost key {key}")
+    shutil.rmtree(root, ignore_errors=True)
+    return fp, {}
+
+
+BENCHES = [
+    ("serial_n_cold", bench_serial_n),
+    ("concurrent_dedup", bench_concurrent_dedup),
+    ("tier_reads", bench_tier_reads),
+]
+
+
+def run_mode(quick: bool, repeats: int = REPEATS) -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for name, fn in BENCHES:
+        times: List[float] = []
+        fingerprint: Optional[int] = None
+        extras: Dict[str, float] = {}
+        for _ in range(repeats):
+            workdir = Path(tempfile.mkdtemp(prefix=f"bench_fleet_{name}_"))
+            try:
+                t0 = time.perf_counter()
+                fp, extras = fn(quick, workdir)
+                times.append(time.perf_counter() - t0)
+            finally:
+                shutil.rmtree(workdir, ignore_errors=True)
+            if fingerprint is None:
+                fingerprint = fp
+            elif fingerprint != fp:
+                raise SystemExit(
+                    f"{name}: fingerprint {fp} != {fingerprint} across repeats "
+                    "— nondeterministic workload"
+                )
+        out[name] = {
+            "seconds": round(statistics.median(times), 4),
+            "min_seconds": round(min(times), 4),
+            "fingerprint": fingerprint,
+            **extras,
+        }
+    return out
+
+
+def check(results: Dict[str, Dict[str, dict]], baseline: Dict) -> List[str]:
+    failures: List[str] = []
+    for mode, benches in results.items():
+        base_mode = baseline.get(mode, {})
+        for name, row in benches.items():
+            base = base_mode.get(name)
+            if base is None:
+                failures.append(f"{mode}/{name}: no baseline entry "
+                                "(regenerate BENCH_fleet.json)")
+                continue
+            if row["fingerprint"] != base["fingerprint"]:
+                failures.append(
+                    f"{mode}/{name}: fingerprint changed "
+                    f"({base['fingerprint']} -> {row['fingerprint']}) — "
+                    "regenerate the baseline deliberately"
+                )
+            elif row["seconds"] > base["seconds"] * REGRESSION_FACTOR:
+                failures.append(
+                    f"{mode}/{name}: {row['seconds']}s vs baseline "
+                    f"{base['seconds']}s (> {REGRESSION_FACTOR}x)"
+                )
+        # The headline claim: fan-in beats N cold serial runs.
+        serial = benches.get("serial_n_cold", {}).get("seconds")
+        fanin = benches.get("concurrent_dedup", {}).get("seconds")
+        if serial is not None and fanin is not None and fanin >= serial:
+            failures.append(
+                f"{mode}: concurrent_dedup ({fanin}s) no longer beats "
+                f"serial_n_cold ({serial}s)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="quick scenarios only")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline; "
+                             "do not rewrite it")
+    parser.add_argument("--repeats", type=int, default=REPEATS,
+                        help="repeats per scenario (median reported)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    modes = ["quick"] if args.quick else ["full", "quick"]
+    results = {m: run_mode(m == "quick", repeats=args.repeats) for m in modes}
+    for mode, benches in results.items():
+        for name, row in benches.items():
+            extra = {k: v for k, v in row.items()
+                     if k not in ("seconds", "min_seconds", "fingerprint")}
+            print(f"{mode}/{name}: {row['seconds']}s "
+                  f"(min {row['min_seconds']}s){' ' + str(extra) if extra else ''}")
+
+    if args.check:
+        if not args.out.exists():
+            print(f"no baseline at {args.out}; run without --check first",
+                  file=sys.stderr)
+            return 2
+        baseline = json.loads(args.out.read_text(encoding="utf-8"))
+        failures = check(results, baseline)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    merged: Dict = {}
+    if args.out.exists():
+        merged = json.loads(args.out.read_text(encoding="utf-8"))
+    merged.update(results)
+    merged["repeats"] = args.repeats
+    merged["statistic"] = "median"
+    merged["python"] = platform.python_version()
+    args.out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,12 @@ serving contract:
 3. a sync-submitted Table-I circuit returns depth/area/BLIF
    **byte-identical** to a serial in-process run of the same flow;
 4. async submit → poll → result and the event stream work;
-5. ``/metrics`` serves both JSON and Prometheus renderings;
-6. SIGTERM drains gracefully: the daemon finishes its work, prints the
+5. the tiered cache works end to end: a cache-armed submit materializes
+   the sqlite tier on disk, and a repeat submit is served entirely from
+   the tier stack (zero misses) with identical BLIF;
+6. ``/metrics`` serves both JSON and Prometheus renderings, including
+   the per-tier cache counters and fleet dedup telemetry;
+7. SIGTERM drains gracefully: the daemon finishes its work, prints the
    drain summary, and exits 0.
 
 Exit status: 0 when every check passes, 1 otherwise.  Pure stdlib; run
@@ -21,13 +25,16 @@ as ``PYTHONPATH=src python scripts/ddbdd_doctor.py [--circuit NAME]``.
 from __future__ import annotations
 
 import argparse
+import glob
 import http.client
 import json
 import os
 import re
+import shutil
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -163,15 +170,69 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{len(events)} events",
         )
 
+        cache_dir = tempfile.mkdtemp(prefix="ddbdd_doctor_cache_")
+        try:
+            cached = {
+                "benchmark": args.circuit,
+                "mode": "sync",
+                "emit": "blif",
+                "config": {"cache": "readwrite", "cache_dir": cache_dir},
+            }
+            status, cold = request(port, "POST", "/v1/synthesize", cached,
+                                   timeout=args.timeout)
+            check("cache-armed submit answers 200/done",
+                  status == 200 and cold["state"] == "done")
+            cold_stats = cold["result"]["stats"]
+            check("cold run populates the store",
+                  cold_stats["cache_puts"] > 0,
+                  f"puts={cold_stats['cache_puts']}")
+            check(
+                "sqlite tier materialized on disk",
+                bool(glob.glob(os.path.join(cache_dir, "v*.sqlite"))),
+                ",".join(sorted(os.listdir(cache_dir))),
+            )
+            status, warm = request(port, "POST", "/v1/synthesize", cached,
+                                   timeout=args.timeout)
+            check("warm repeat answers 200/done",
+                  status == 200 and warm["state"] == "done")
+            warm_stats = warm["result"]["stats"]
+            check(
+                "warm repeat served entirely from the tier stack",
+                warm_stats["cache_misses"] == 0 and warm_stats["cache_hits"] > 0,
+                f"hits={warm_stats['cache_hits']} misses={warm_stats['cache_misses']}",
+            )
+            tier_hits = {
+                tier: counters["hits"]
+                for tier, counters in warm_stats["cache_tiers"].items()
+            }
+            check(
+                "tier telemetry attributes the warm hits",
+                sum(tier_hits.values()) >= warm_stats["cache_hits"],
+                str(tier_hits),
+            )
+            check("warm BLIF identical to cold", warm["result"]["blif"] == cold["result"]["blif"])
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
         status, metrics = request(port, "GET", "/metrics")
         check(
             "/metrics JSON aggregates served jobs",
             status == 200 and metrics["jobs_observed"] >= 2,
         )
+        check(
+            "/metrics JSON carries tier + fleet telemetry",
+            "cache_tiers" in metrics and "dedup_hits" in metrics
+            and metrics["fleet"]["flights_in_flight"] == 0,
+        )
         status, prom = request(port, "GET", "/metrics?format=prometheus")
         check(
             "/metrics renders Prometheus text",
             status == 200 and "# TYPE ddbdd_jobs_total counter" in str(prom),
+        )
+        check(
+            "Prometheus text exposes tier/dedup families",
+            "ddbdd_cache_tier_ops_total" in str(prom)
+            and "ddbdd_dedup_total" in str(prom),
         )
 
         proc.send_signal(signal.SIGTERM)

@@ -70,6 +70,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         verify_level=args.verify_level,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        cache_tier=args.cache_tier,
+        fleet_weight=args.fleet_weight,
         flow=args.passes,
         **kwargs,
     )
@@ -233,6 +235,21 @@ def main(argv: Optional[list] = None) -> int:
         "--cache-dir",
         default=".ddbdd_cache",
         help="cache directory (default: .ddbdd_cache)",
+    )
+    p.add_argument(
+        "--cache-tier",
+        choices=["tiered", "legacy"],
+        default="tiered",
+        help="cache backend: tiered (in-process LRU + sqlite + legacy "
+        "shard migration) or legacy (flat sharded JSON only)",
+    )
+    p.add_argument(
+        "--fleet-weight",
+        type=int,
+        default=1,
+        metavar="W",
+        help="fair-share admission weight in the process-wide worker "
+        "fleet (relative; default 1)",
     )
     p.add_argument(
         "--job-deadline",

@@ -145,6 +145,18 @@ class DDBDDConfig:
         Root directory of the on-disk cache.
     cache_max_entries:
         LRU size cap of the cache (entries, not bytes).
+    cache_tier:
+        Cache backend: ``"tiered"`` (default) is the three-tier stack of
+        :mod:`repro.runtime.tiers` — in-process LRU over a sqlite store,
+        with the legacy shard directory as a read-compatible migration
+        tier; ``"legacy"`` is the flat sharded-JSON store alone
+        (:mod:`repro.runtime.cache`).  Ignored when ``cache`` is
+        ``"off"``.
+    fleet_weight:
+        Fair-share admission weight of this request in the process-wide
+        fleet scheduler (:mod:`repro.runtime.fleet`).  Relative: a
+        weight-2 request is entitled to twice the worker share of a
+        weight-1 request while both are in flight.  Must be >= 1.
     flow:
         Optional flow-script override for the pass pipeline (see
         :mod:`repro.flow`), e.g. ``"sweep;collapse;synth(jobs=4);map"``.
@@ -199,6 +211,8 @@ class DDBDDConfig:
     cache: str = "off"
     cache_dir: str = ".ddbdd_cache"
     cache_max_entries: int = 8192
+    cache_tier: str = "tiered"
+    fleet_weight: int = 1
     flow: Optional[str] = None
     job_deadline_s: Optional[float] = None
     job_node_budget: Optional[int] = None
@@ -221,6 +235,12 @@ class DDBDDConfig:
             raise ValueError(f"cache must be off, read or readwrite, got {self.cache!r}")
         if self.cache_max_entries < 1:
             raise ValueError("cache_max_entries must be positive")
+        if self.cache_tier not in ("tiered", "legacy"):
+            raise ValueError(
+                f"cache_tier must be tiered or legacy, got {self.cache_tier!r}"
+            )
+        if self.fleet_weight < 1:
+            raise ValueError("fleet_weight must be >= 1")
         if self.flow is not None and (
             not isinstance(self.flow, str) or not self.flow.strip()
         ):

@@ -41,7 +41,15 @@ class SynthPass(BasePass):
 
     requires = ("work",)
     provides = ("mapped",)
-    option_names = ("engine", "jobs", "cache", "cache_dir", "cache_max_entries")
+    option_names = (
+        "engine",
+        "jobs",
+        "cache",
+        "cache_dir",
+        "cache_max_entries",
+        "cache_tier",
+        "fleet_weight",
+    )
 
     def __init__(self, **options: object) -> None:
         super().__init__(**options)
@@ -57,7 +65,14 @@ class SynthPass(BasePass):
         (validation runs through ``DDBDDConfig.__post_init__``)."""
         overrides = {
             key: self.options[key]
-            for key in ("jobs", "cache", "cache_dir", "cache_max_entries")
+            for key in (
+                "jobs",
+                "cache",
+                "cache_dir",
+                "cache_max_entries",
+                "cache_tier",
+                "fleet_weight",
+            )
             if key in self.options
         }
         return replace(config, **overrides) if overrides else config

@@ -7,9 +7,15 @@ provides an equivalent engine that
 * groups supernodes into topological wavefronts and runs each wavefront
   on a process pool (:mod:`repro.runtime.schedule`,
   :mod:`repro.runtime.pool`),
-* memoizes supernode DP emissions in a persistent content-addressed
-  on-disk cache keyed by a canonical BDD signature
-  (:mod:`repro.runtime.cache`, :mod:`repro.runtime.signature`), and
+* pools the wavefront batches of any number of concurrent requests into
+  one process-wide worker fleet with fair-share admission and
+  singleflight dedup per content signature
+  (:mod:`repro.runtime.fleet`),
+* memoizes supernode DP emissions in a tiered content-addressed store —
+  in-process LRU over a cross-process-safe sqlite file, with the legacy
+  sharded-JSON layout as a read-compatible migration tier
+  (:mod:`repro.runtime.tiers`, :mod:`repro.runtime.cache`,
+  :mod:`repro.runtime.signature`), and
 * reports per-stage/per-wavefront telemetry and recovered-failure rows
   (:mod:`repro.runtime.stats`), and
 * survives worker death, budget breaches and cache corruption: jobs run
@@ -26,6 +32,21 @@ identical — names, fanins, functions — to the serial loop's.
 """
 
 from repro.runtime.cache import DEFAULT_MAX_ENTRIES, EmissionCache
+from repro.runtime.fleet import (
+    FleetRequest,
+    FleetScheduler,
+    WaveItem,
+    get_fleet,
+    reset_fleet,
+)
+from repro.runtime.tiers import (
+    CacheTelemetry,
+    MemoryTier,
+    SqliteTier,
+    TieredEmissionCache,
+    TIER_NAMES,
+    TIER_OPS,
+)
 from repro.runtime.emission import (
     EmissionCell,
     EmissionRecord,
@@ -61,7 +82,18 @@ from repro.runtime.stats import FailureReport, RuntimeStats
 
 __all__ = [
     "DEFAULT_MAX_ENTRIES",
+    "CacheTelemetry",
     "EmissionCache",
+    "FleetRequest",
+    "FleetScheduler",
+    "MemoryTier",
+    "SqliteTier",
+    "TieredEmissionCache",
+    "TIER_NAMES",
+    "TIER_OPS",
+    "WaveItem",
+    "get_fleet",
+    "reset_fleet",
     "EmissionCell",
     "EmissionRecord",
     "FailureReport",

@@ -68,6 +68,8 @@ class EmissionCache:
         #: Corrupted shards encountered (and healed by unlinking) on
         #: reads.  Each also counts as a miss.
         self.corruptions = 0
+        #: Entries dropped by the LRU size cap.
+        self.evictions = 0
         self._puts_since_evict = 0
 
     def path_for(self, key: str) -> Path:
@@ -158,6 +160,7 @@ class EmissionCache:
         entries.sort(key=mtime)
         for path in entries[:excess]:
             self._unlink(path)
+        self.evictions += excess
         return excess
 
     # ------------------------------------------------------------------

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -291,6 +292,9 @@ class JobRunner:
         #: Pool failures observed and recovered, in order.
         self.failure_events: List[PoolFailureEvent] = []
         self._executor: Optional[ProcessPoolExecutor] = None
+        # The fleet shares one runner across concurrent request threads;
+        # pool creation/teardown must not race.
+        self._pool_lock = threading.Lock()
 
     def run_batch(self, batch: Sequence[SupernodeJob]) -> List[EmissionRecord]:
         """Execute one wavefront's jobs; records in batch order.
@@ -312,17 +316,30 @@ class JobRunner:
             )
         return [o.record for o in outcomes if o.record is not None]
 
-    def run_batch_outcomes(self, batch: Sequence[SupernodeJob]) -> List[JobOutcome]:
+    def run_batch_outcomes(
+        self,
+        batch: Sequence[SupernodeJob],
+        max_chunks: Optional[int] = None,
+        events: Optional[List[PoolFailureEvent]] = None,
+    ) -> List[JobOutcome]:
         """Execute one wavefront's jobs; outcomes in batch order.
 
         Survives worker death: failed chunks are retried on a respawned
         pool with bounded exponential backoff, then run in-process once
         ``max_retries`` is exhausted.
+
+        ``max_chunks`` caps how many pool tasks this batch may occupy at
+        once — the fleet's fair-share lever: a request's allowance, not
+        the whole pool, bounds its footprint.  ``events`` additionally
+        receives this call's :class:`PoolFailureEvent` rows (the shared
+        fleet runner serves many requests, so per-call attribution
+        cannot come from the lifetime :attr:`failure_events` list).
         """
+        chunk_cap = self.workers if max_chunks is None else min(self.workers, max_chunks)
         indices = list(range(len(batch)))
-        if self.workers == 1 or len(batch) <= 1:
+        if self.workers == 1 or len(batch) <= 1 or chunk_cap <= 1:
             return self._run_inline(indices, batch)
-        groups = chunk_jobs(batch, self.workers)
+        groups = chunk_jobs(batch, chunk_cap)
         results: List[Optional[JobOutcome]] = [None] * len(batch)
         pending = groups
         attempt = 0
@@ -356,15 +373,21 @@ class JobRunner:
             fault_mod.notify_pool_failure(seqs)
             self._reset_pool()
             if attempt > self.max_retries:
-                self.failure_events.append(PoolFailureEvent(
+                event = PoolFailureEvent(
                     seqs, names, repr(first_error), attempt, "serial"
-                ))
+                )
+                self.failure_events.append(event)
+                if events is not None:
+                    events.append(event)
                 for i, outcome in zip(flat, self._run_inline(flat, batch)):
                     results[i] = outcome
                 break
-            self.failure_events.append(PoolFailureEvent(
+            event = PoolFailureEvent(
                 seqs, names, repr(first_error), attempt, "respawn"
-            ))
+            )
+            self.failure_events.append(event)
+            if events is not None:
+                events.append(event)
             time.sleep(self.backoff_s * (2 ** (attempt - 1)))
             pending = failed
         missing = [batch[i].name for i, r in enumerate(results) if r is None]
@@ -396,30 +419,33 @@ class JobRunner:
         return outcomes
 
     def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                ctx = multiprocessing.get_context()
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=ctx
-            )
-        return self._executor
+        with self._pool_lock:
+            if self._executor is None:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX platforms
+                    ctx = multiprocessing.get_context()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
+            return self._executor
 
     def _reset_pool(self) -> None:
         """Tear down a (possibly broken) pool; the next batch respawns it."""
-        if self._executor is not None:
-            try:
-                self._executor.shutdown(wait=False, cancel_futures=True)
-            except Exception:  # pragma: no cover - broken-pool teardown
-                pass
-            self._executor = None
+        with self._pool_lock:
+            if self._executor is not None:
+                try:
+                    self._executor.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # pragma: no cover - broken-pool teardown
+                    pass
+                self._executor = None
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._pool_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
 
     def __enter__(self) -> "JobRunner":
         return self

@@ -9,9 +9,13 @@ module splits the serial loop into two phases:
 (``level = 1 + max(level of fanins)``; constant nodes sit at level 0 and
 buffer/inverter chains stay at their source's level).  All supernodes of
 one wavefront are independent given the previous levels' results, so
-each wavefront is dispatched as a batch — through the content-addressed
-cache first (:mod:`repro.runtime.cache`), then to the
-:class:`~repro.runtime.pool.JobRunner` (in-process or worker pool).
+each wavefront is dispatched as a batch to the process-wide
+:class:`~repro.runtime.fleet.FleetScheduler` — through the tiered
+content-addressed cache first (:mod:`repro.runtime.tiers`, or the
+legacy :mod:`repro.runtime.cache` store under ``cache_tier="legacy"``),
+then through singleflight dedup against other in-flight requests, and
+only then to a :class:`~repro.runtime.pool.JobRunner` (the fleet's
+shared pool, or a private one for fault-armed runs).
 Only ``(polarity, depth)`` resolution is tracked in this phase; nothing
 is written to the output network.
 
@@ -39,15 +43,12 @@ from repro.network.netlist import BooleanNetwork
 from repro.resilience import faults as fault_mod
 from repro.resilience.ladder import resynthesize
 from repro.runtime.cache import EmissionCache
-from repro.runtime.emission import EmissionRecord, replay_record, verify_record
-from repro.runtime.pool import (
-    JobOutcome,
-    JobRunner,
-    SupernodeJob,
-    run_supernode_job_guarded,
-)
-from repro.runtime.signature import CanonicalDAG, dag_size, export_dag
+from repro.runtime.emission import EmissionRecord, replay_record
+from repro.runtime.fleet import WaveItem, get_fleet
+from repro.runtime.pool import JobOutcome, JobRunner, SupernodeJob
+from repro.runtime.signature import CanonicalDAG, export_dag
 from repro.runtime.stats import FailureReport, RuntimeStats
+from repro.runtime.tiers import CacheTelemetry
 
 KIND_CONST = "const"
 KIND_LITERAL = "literal"
@@ -227,11 +228,14 @@ def wavefront_supernodes(
     for wave in plan.levels:
         if wave.jobs:
             stats.wavefront_widths.append(len(wave.jobs))
-    cache: Optional[EmissionCache] = None
-    if config.cache != "off":
-        cache = EmissionCache(config.cache_dir, max_entries=config.cache_max_entries)
-    readable = config.cache in ("read", "readwrite")
-    writable = config.cache == "readwrite"
+    fleet = get_fleet()
+    # The fleet owns the cache store: tiered stores are shared per cache
+    # root (one in-process memory tier for every request hitting it);
+    # legacy stores are per-run, exactly as before the fleet existed.
+    store = fleet.store_for(config)
+    tele: Optional[CacheTelemetry] = None
+    if store is not None and config.cache_tier == "tiered":
+        tele = CacheTelemetry()
 
     # Degenerate deployment: the pool is clamped to one worker (fewer
     # CPUs than jobs) and no cache is in play.  The DAG-export / job /
@@ -242,7 +246,7 @@ def wavefront_supernodes(
     # Resilience runs (budgets or fault injection) always take the
     # guarded engine below, whatever the worker count.
     if (
-        cache is None
+        store is None
         and not config.resilience_active
         and min(config.effective_jobs, os.cpu_count() or 1) == 1
     ):
@@ -265,96 +269,87 @@ def wavefront_supernodes(
     seq_counter = 0
 
     # The plan (if any) is installed for all of phase A so worker forks
-    # inherit it; the clamp on the runner is lifted under a plan, so
-    # crash/stall faults exercise real worker processes even on a
-    # one-core host.
-    with fault_mod.activated(config.faults), JobRunner(
-        config.effective_jobs,
-        max_retries=config.pool_max_retries,
-        backoff_s=config.pool_retry_backoff_s,
-        clamp=config.faults is None,
-    ) as runner:
-        for wave in plan.levels:
-            pending: List[Tuple[str, SupernodeJob, Optional[str]]] = []
-            for name in wave.jobs:
-                node = work.nodes[name]
-                seq_counter += 1
-                with stats.stage("signature"):
-                    dag = export_dag(work.mgr, node.func)
-                    fanin_by_var = {work.var_of(f): f for f in node.fanins}
-                    polarities = []
-                    arrivals = []
-                    for var in dag.var_map:
-                        neg, depth = vres[fanin_by_var[var]]
-                        polarities.append(neg)
-                        arrivals.append(depth)
-                    job = SupernodeJob.from_config(
-                        name, dag, arrivals, polarities, config, seq=seq_counter
-                    )
-                    key = job.signature() if cache is not None else None
-                record: Optional[EmissionRecord] = None
-                if cache is not None and readable and key is not None:
-                    with stats.stage("cache"):
-                        record = cache.get(key)
-                        if record is not None and config.verify_level >= 1:
-                            if not verify_record(record, dag, job.polarities, config.k):
-                                cache.invalidate(key)
-                                stats.cache_rejected += 1
-                                record = None
-                if record is not None:
-                    stats.cache_hits += 1
-                    jobinfo[name] = (dag, record)
-                else:
-                    if cache is not None:
-                        stats.cache_misses += 1
-                    pending.append((name, job, key))
-            if pending:
-                batch = [job for _, job, _ in pending]
-                with stats.stage("dp"):
-                    if (
-                        not fault_mod.is_active()
-                        and sum(dag_size(job.dag) for job in batch) < MIN_POOL_WORK
-                    ):
-                        outcomes = [run_supernode_job_guarded(job) for job in batch]
-                    else:
-                        outcomes = runner.run_batch_outcomes(batch)
-                for (name, job, key), outcome in zip(pending, outcomes):
-                    if outcome.ok:
-                        record = outcome.record
-                        if cache is not None and writable and key is not None:
-                            with stats.stage("cache"):
-                                if cache.put(key, record):
-                                    stats.cache_puts += 1
-                    else:
-                        record = _recover_breach(job, outcome, stats)
-                        # Deliberately never cached: a ladder output
-                        # stored under the clean signature would poison
-                        # later runs.
-                    jobinfo[name] = (job.dag, record)
-            # Resolve polarities/depths for this level (jobs first, then
-            # pass-through nodes that may read them).
-            for name in wave.jobs:
-                record = jobinfo[name][1]
-                neg = record.out_neg if record.out_ref[0] == "v" else False
-                vres[name] = (neg, record.out_depth)
-            for name in wave.passthrough:
-                if plan.kind[name] == KIND_CONST:
-                    vres[name] = (False, 0)
-                else:
-                    src, lit_neg = classify_node(work, name)[1]  # type: ignore[misc]
-                    src_neg, src_depth = vres[src]
-                    vres[name] = (src_neg ^ lit_neg, src_depth)
-        for event in runner.failure_events:
-            stats.failures.append(FailureReport(
-                job=",".join(event.names),
-                seq=min(event.seqs, default=0),
-                kind="pool",
-                reason=event.error,
-                retries=event.attempt,
-                rung=event.action,
-            ))
-    if cache is not None:
-        stats.cache_corruptions += cache.corruptions
+    # inherit it.  A fault-armed run keeps a *private* runner created
+    # inside the activated window (its forks must inherit the plan, and
+    # its crash/stall schedule addresses this request's seq space) with
+    # the clamp lifted so worker faults are exercisable on a one-core
+    # host; clean runs submit to the fleet's shared runner instead.
+    with fault_mod.activated(config.faults):
+        private_runner: Optional[JobRunner] = None
+        if config.faults is not None:
+            private_runner = JobRunner(
+                config.effective_jobs,
+                max_retries=config.pool_max_retries,
+                backoff_s=config.pool_retry_backoff_s,
+                clamp=False,
+            )
+        try:
+            with fleet.register(
+                config, stats, store=store, tele=tele, runner=private_runner
+            ) as req:
+                for wave in plan.levels:
+                    items: List[WaveItem] = []
+                    for name in wave.jobs:
+                        node = work.nodes[name]
+                        seq_counter += 1
+                        with stats.stage("signature"):
+                            dag = export_dag(work.mgr, node.func)
+                            fanin_by_var = {work.var_of(f): f for f in node.fanins}
+                            polarities = []
+                            arrivals = []
+                            for var in dag.var_map:
+                                neg, depth = vres[fanin_by_var[var]]
+                                polarities.append(neg)
+                                arrivals.append(depth)
+                            job = SupernodeJob.from_config(
+                                name, dag, arrivals, polarities, config,
+                                seq=seq_counter,
+                            )
+                            key = job.signature() if store is not None else None
+                        items.append(WaveItem(name=name, job=job, key=key))
+                    outcomes = fleet.run_wave(req, items, MIN_POOL_WORK)
+                    for item in items:
+                        outcome = outcomes[item.name]
+                        if outcome.ok:
+                            record = outcome.record
+                        else:
+                            record = _recover_breach(item.job, outcome, stats)
+                            # Deliberately never cached (and never handed
+                            # to a deduped waiter): a ladder output under
+                            # the clean signature would poison later runs.
+                        jobinfo[item.name] = (item.job.dag, record)
+                    # Resolve polarities/depths for this level (jobs
+                    # first, then pass-through nodes that may read them).
+                    for name in wave.jobs:
+                        record = jobinfo[name][1]
+                        neg = record.out_neg if record.out_ref[0] == "v" else False
+                        vres[name] = (neg, record.out_depth)
+                    for name in wave.passthrough:
+                        if plan.kind[name] == KIND_CONST:
+                            vres[name] = (False, 0)
+                        else:
+                            src, lit_neg = classify_node(work, name)[1]  # type: ignore[misc]
+                            src_neg, src_depth = vres[src]
+                            vres[name] = (src_neg ^ lit_neg, src_depth)
+                for event in req.events:
+                    stats.failures.append(FailureReport(
+                        job=",".join(event.names),
+                        seq=min(event.seqs, default=0),
+                        kind="pool",
+                        reason=event.error,
+                        retries=event.attempt,
+                        rung=event.action,
+                    ))
+        finally:
+            if private_runner is not None:
+                private_runner.close()
+    if tele is not None:
+        stats.cache_tiers = tele.as_dict()
+        stats.cache_corruptions += tele.total("corruptions")
+        stats.cache_evictions += tele.total("evictions")
+    elif isinstance(store, EmissionCache):
+        stats.cache_corruptions += store.corruptions
+        stats.cache_evictions += store.evictions
 
     # Phase B: splice in the serial topological order.
     supernode_results: List[SupernodeResult] = []

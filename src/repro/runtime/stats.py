@@ -32,7 +32,13 @@ from repro._version import __version__
 #: consumer can parse either with one reader.  Bump it only when a key
 #: in the stable sets below changes name or meaning; *adding* keys is
 #: backward compatible and does not bump the schema.
-STATS_SCHEMA = 1
+#:
+#: Schema 2 (fleet scheduler + tiered cache): the flat ``cache_*``
+#: counters became *sums over the cache tiers* (``cache_hits`` counts a
+#: hit in any tier exactly once, wherever it was served), and the
+#: payload grew ``cache_evictions``, the per-tier ``cache_tiers`` map
+#: and the singleflight ``dedup_hits`` / ``dedup_retries`` counters.
+STATS_SCHEMA = 2
 
 #: The stable top-level key set of :meth:`RuntimeStats.as_dict`.
 #: Consumers may rely on these keys existing with these meanings for as
@@ -51,6 +57,10 @@ RUNTIME_STATS_KEYS = (
     "cache_puts",
     "cache_rejected",
     "cache_corruptions",
+    "cache_evictions",
+    "cache_tiers",
+    "dedup_hits",
+    "dedup_retries",
     "failures",
 )
 
@@ -247,8 +257,24 @@ class RuntimeStats:
         Cached emissions rejected by re-verification (treated as
         misses).
     cache_corruptions:
-        Corrupted cache shards encountered and healed (unlinked) during
-        reads.
+        Corrupted cache entries encountered and healed (unlinked /
+        deleted) during reads, summed over tiers.
+    cache_evictions:
+        Entries this run's activity pushed out of a tier's LRU cap,
+        summed over tiers.
+    cache_tiers:
+        Per-tier breakdown of this run's cache activity:
+        ``{tier: {op: count}}`` over the
+        :data:`~repro.runtime.tiers.TIER_NAMES` /
+        :data:`~repro.runtime.tiers.TIER_OPS` vocabularies.  Empty for
+        legacy (``cache_tier="legacy"``) and cache-off runs.
+    dedup_hits:
+        Supernode computations this run *did not* execute because the
+        fleet's singleflight layer let it splice another in-flight
+        request's verified result.
+    dedup_retries:
+        Singleflight waits that ended in a failed or unshareable flight,
+        forcing this run to recompute independently.
     failures:
         One :class:`FailureReport` row per recovered runtime failure
         (budget breaches resynthesized via the degradation ladder,
@@ -273,6 +299,10 @@ class RuntimeStats:
     cache_puts: int = 0
     cache_rejected: int = 0
     cache_corruptions: int = 0
+    cache_evictions: int = 0
+    cache_tiers: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    dedup_hits: int = 0
+    dedup_retries: int = 0
     failures: List[FailureReport] = field(default_factory=list)
     pass_observer: Optional[Callable[[PassTelemetry], None]] = field(
         default=None, repr=False, compare=False
@@ -330,6 +360,12 @@ class RuntimeStats:
             "cache_puts": self.cache_puts,
             "cache_rejected": self.cache_rejected,
             "cache_corruptions": self.cache_corruptions,
+            "cache_evictions": self.cache_evictions,
+            "cache_tiers": {
+                tier: dict(ops) for tier, ops in self.cache_tiers.items()
+            },
+            "dedup_hits": self.dedup_hits,
+            "dedup_retries": self.dedup_retries,
             "failures": [f.as_dict() for f in self.failures],
         }
 
@@ -360,7 +396,17 @@ class RuntimeStats:
             lines.append(
                 f"  cache hits={self.cache_hits} misses={self.cache_misses} "
                 f"puts={self.cache_puts} rejected={self.cache_rejected} "
-                f"corruptions={self.cache_corruptions}"
+                f"corruptions={self.cache_corruptions} "
+                f"evictions={self.cache_evictions}"
+            )
+            for tier, ops in self.cache_tiers.items():
+                busy = {op: n for op, n in ops.items() if n}
+                if busy:
+                    detail = " ".join(f"{op}={n}" for op, n in busy.items())
+                    lines.append(f"    tier {tier:<7s} {detail}")
+        if self.dedup_hits or self.dedup_retries:
+            lines.append(
+                f"  dedup hits={self.dedup_hits} retries={self.dedup_retries}"
             )
         if self.failures:
             lines.append(f"  failures recovered: {len(self.failures)}")

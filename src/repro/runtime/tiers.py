@@ -1,0 +1,514 @@
+"""Three-tier content-addressed store for supernode emission records.
+
+The fleet scheduler (:mod:`repro.runtime.fleet`) serves many concurrent
+synthesis requests from one process, so the flat sharded-JSON store of
+:mod:`repro.runtime.cache` grows a stack of tiers behind one interface:
+
+* **Tier 1 — memory** (:class:`MemoryTier`): a bounded in-process LRU
+  (:class:`~repro.utils.BoundedMemo`-style cap) of verified
+  :class:`~repro.runtime.emission.EmissionRecord` objects.  Shared by
+  every request in the process, so a daemon's near-duplicate traffic is
+  served without touching disk at all.
+* **Tier 2 — sqlite** (:class:`SqliteTier`): the persistent store, one
+  WAL-mode sqlite file per cache root.  Every write is a transaction, so
+  two daemons sharing a ``--cache-dir`` cannot tear or double-apply an
+  entry; reads bump a ``touched`` column for LRU eviction.
+* **Tier 3 — shards**: the legacy ``v1/ab/<sha>.json`` shard directory
+  (:class:`~repro.runtime.cache.EmissionCache` format), kept as a
+  *read-compatible migration path*: tiered runs never write it, but a
+  hit there is promoted into tiers 2 and 1 so an old cache directory
+  warms the new store on first contact.
+
+:meth:`TieredEmissionCache.get` walks memory → sqlite → shards and
+promotes hits upward; :meth:`TieredEmissionCache.put` writes sqlite
+first (the durable copy) and then memory.  Per-tier
+hit/miss/put/eviction/corruption/promotion counters are recorded both on
+the tiers themselves (process-lifetime, for ``/metrics``) and into an
+optional per-run :class:`CacheTelemetry`, which the engine folds into
+:class:`~repro.runtime.stats.RuntimeStats.cache_tiers`.
+
+Every operation stays best-effort like the legacy store: corruption —
+a malformed sqlite payload, an unreadable shard, even a damaged sqlite
+file — degrades to a miss, heals the offending entry (or file) and
+bumps the tier's corruption counter.  A broken cache must never break
+synthesis.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.resilience import faults as fault_mod
+from repro.runtime.cache import DEFAULT_MAX_ENTRIES, EmissionCache
+from repro.runtime.emission import EmissionRecord, RecordError
+from repro.runtime.signature import SIGNATURE_VERSION
+
+logger = logging.getLogger(__name__)
+
+#: Stable tier names (the keys of ``RuntimeStats.cache_tiers`` and the
+#: ``tier`` label of the ``ddbdd_cache_tier_ops_total`` metric family).
+TIER_MEMORY = "memory"
+TIER_SQLITE = "sqlite"
+TIER_SHARDS = "shards"
+TIER_NAMES = (TIER_MEMORY, TIER_SQLITE, TIER_SHARDS)
+
+#: Stable per-tier counter names.
+TIER_OPS = ("hits", "misses", "puts", "evictions", "corruptions", "promotions")
+
+#: Default entry cap of the in-process memory tier; records are a few
+#: KB, so this bounds tier 1 to single-digit MB per cache root.
+DEFAULT_MEMORY_ENTRIES = 2048
+
+#: Enforce the sqlite LRU cap once per this many puts (same amortized
+#: cadence as the legacy shard store).
+_EVICT_EVERY = 64
+
+#: How long a sqlite operation waits on another process's write lock
+#: before giving up (degrading to a miss / dropped put).
+_BUSY_TIMEOUT_MS = 5000
+
+
+class CacheTelemetry:
+    """Per-run recorder of tier-level cache activity.
+
+    The tiers themselves keep process-lifetime counters (they are shared
+    across requests), so each run records its *own* activity here and
+    folds it into its :class:`~repro.runtime.stats.RuntimeStats` — the
+    per-run stats never double-count another request's traffic.
+    """
+
+    def __init__(self) -> None:
+        self.tiers: Dict[str, Dict[str, int]] = {
+            tier: {op: 0 for op in TIER_OPS} for tier in TIER_NAMES
+        }
+
+    def note(self, tier: str, op: str, n: int = 1) -> None:
+        """Record ``n`` occurrences of ``op`` on ``tier``."""
+        if n:
+            self.tiers[tier][op] += n
+
+    def total(self, op: str) -> int:
+        """Sum of ``op`` across every tier."""
+        return sum(counters[op] for counters in self.tiers.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """JSON-ready snapshot (the ``cache_tiers`` stats payload)."""
+        return {tier: dict(counters) for tier, counters in self.tiers.items()}
+
+
+class MemoryTier:
+    """Tier 1: a bounded in-process LRU of emission records.
+
+    Lock-guarded because the fleet shares one instance across concurrent
+    request threads.  Eviction is strict LRU (reads refresh recency),
+    with the cap enforced synchronously on every put.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MEMORY_ENTRIES) -> None:
+        self.max_entries = max(1, max_entries)
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[str, EmissionRecord]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[EmissionRecord]:
+        with self._lock:
+            record = self._data.get(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return record
+
+    def put(self, key: str, record: EmissionRecord) -> int:
+        """Store a record; returns how many entries were evicted."""
+        with self._lock:
+            self._data[key] = record
+            self._data.move_to_end(key)
+            self.puts += 1
+            evicted = 0
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            return evicted
+
+    def invalidate(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class SqliteTier:
+    """Tier 2: the persistent cross-process-safe store (sqlite, WAL).
+
+    One database file per cache root, ``v{SIGNATURE_VERSION}.sqlite``
+    next to the legacy shard tree — a signature-format bump strands old
+    entries instead of corrupting new runs, exactly like the shard
+    layout's version directory.
+
+    Durability model: every write is one sqlite transaction (WAL
+    journal), so concurrent writers — including separate daemon
+    processes sharing the directory — serialize through sqlite's file
+    locks and an interrupted writer can never leave a half-written row.
+    Connections are opened per operation: nothing is shared across
+    ``fork`` and no file descriptor outlives the call.
+
+    Reads bump a ``touched`` column so :meth:`evict_to_cap` (amortized,
+    every :data:`_EVICT_EVERY` puts) drops the least recently *used*
+    rows.  A malformed payload is deleted and counted as a corruption;
+    a damaged database file is unlinked wholesale (with its WAL
+    side-files) so the slot heals on the next put.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        self.root = Path(root)
+        self.path = self.root / f"v{SIGNATURE_VERSION}.sqlite"
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._puts_since_evict = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.corruptions = 0
+
+    # ------------------------------------------------------------------
+    def _connect(self, create: bool) -> Optional[sqlite3.Connection]:
+        """A fresh connection, or ``None`` when the store does not exist
+        and ``create`` is false (read mode must not materialize files)."""
+        if not create and not self.path.exists():
+            return None
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=_BUSY_TIMEOUT_MS / 1000.0)
+        conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS records ("
+            "key TEXT PRIMARY KEY, payload TEXT NOT NULL, touched REAL NOT NULL)"
+        )
+        return conn
+
+    def _heal(self) -> None:
+        """Drop a damaged database file (and WAL side-files) wholesale."""
+        self.corruptions += 1
+        logger.debug("unlinking damaged sqlite cache %s", self.path)
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                Path(str(self.path) + suffix).unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[Optional[EmissionRecord], int]:
+        """``(record_or_None, corruptions_observed)`` for one lookup."""
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=False)
+                if conn is None:
+                    self.misses += 1
+                    return None, 0
+                row = conn.execute(
+                    "SELECT payload FROM records WHERE key = ?", (key,)
+                ).fetchone()
+                if row is None:
+                    self.misses += 1
+                    return None, 0
+                try:
+                    record = EmissionRecord.from_json_obj(json.loads(row[0]))
+                except (ValueError, RecordError):
+                    with conn:
+                        conn.execute("DELETE FROM records WHERE key = ?", (key,))
+                    self.corruptions += 1
+                    self.misses += 1
+                    return None, 1
+                with conn:
+                    conn.execute(
+                        "UPDATE records SET touched = ? WHERE key = ?",
+                        # LRU recency bookkeeping only — never a result.
+                        (time.time(), key),  # repolint: disable=DD502
+                    )
+                self.hits += 1
+                return record, 0
+            except sqlite3.Error:
+                self._heal()
+                self.misses += 1
+                return None, 1
+            finally:
+                if conn is not None:
+                    conn.close()
+
+    def put(self, key: str, record: EmissionRecord) -> Tuple[bool, bool, int]:
+        """Store a record; returns ``(stored, torn, evicted)``.
+
+        ``torn`` reports an injected ``corrupt_shard@put=N`` fault: the
+        committed row was overwritten with garbage after the fact (the
+        tier-2 analogue of the legacy store's truncated shard), and the
+        next read must detect and heal it.
+        """
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=True)
+                assert conn is not None
+                payload = json.dumps(record.to_json_obj(), separators=(",", ":"))
+                with conn:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO records (key, payload, touched) "
+                        "VALUES (?, ?, ?)",
+                        # LRU recency bookkeeping only — never a result.
+                        (key, payload, time.time()),  # repolint: disable=DD502
+                    )
+                torn = False
+                if fault_mod.note_put():
+                    with conn:
+                        conn.execute(
+                            "UPDATE records SET payload = ? WHERE key = ?",
+                            ('{"cells": [[', key),
+                        )
+                    torn = True
+            except sqlite3.Error:
+                return False, False, 0
+            finally:
+                if conn is not None:
+                    conn.close()
+            self.puts += 1
+            self._puts_since_evict += 1
+            evicted = 0
+            if self._puts_since_evict >= _EVICT_EVERY:
+                self._puts_since_evict = 0
+                evicted = self._evict_locked()
+            return True, torn, evicted
+
+    def invalidate(self, key: str) -> None:
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=False)
+                if conn is None:
+                    return
+                with conn:
+                    conn.execute("DELETE FROM records WHERE key = ?", (key,))
+            except sqlite3.Error:
+                self._heal()
+            finally:
+                if conn is not None:
+                    conn.close()
+
+    def evict_to_cap(self) -> int:
+        """Drop least-recently-touched rows beyond ``max_entries``."""
+        with self._lock:
+            return self._evict_locked()
+
+    def _evict_locked(self) -> int:
+        conn: Optional[sqlite3.Connection] = None
+        try:
+            conn = self._connect(create=False)
+            if conn is None:
+                return 0
+            (count,) = conn.execute("SELECT COUNT(*) FROM records").fetchone()
+            excess = int(count) - self.max_entries
+            if excess <= 0:
+                return 0
+            with conn:
+                conn.execute(
+                    "DELETE FROM records WHERE key IN ("
+                    "SELECT key FROM records ORDER BY touched ASC, key ASC LIMIT ?)",
+                    (excess,),
+                )
+            self.evictions += excess
+            return excess
+        except sqlite3.Error:
+            self._heal()
+            return 0
+        finally:
+            if conn is not None:
+                conn.close()
+
+    def keys(self) -> List[str]:
+        """Every key currently stored (deterministic order)."""
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=False)
+                if conn is None:
+                    return []
+                rows = conn.execute("SELECT key FROM records ORDER BY key").fetchall()
+                return [r[0] for r in rows]
+            except sqlite3.Error:
+                self._heal()
+                return []
+            finally:
+                if conn is not None:
+                    conn.close()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+class TieredEmissionCache:
+    """The three tiers behind one interface (see module docstring).
+
+    One instance per cache root, shared process-wide via the fleet's
+    store registry — tier 1 is only useful if every request hitting the
+    same root shares it.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        self.root = Path(root)
+        self.memory = MemoryTier(min(memory_entries, max_entries))
+        self.disk = SqliteTier(root, max_entries=max_entries)
+        #: Legacy shard layout, used read-only (tier 3 migration path).
+        self.shards = EmissionCache(root, max_entries=max_entries)
+
+    # ------------------------------------------------------------------
+    def _shards_get(self, key: str) -> Tuple[Optional[EmissionRecord], int]:
+        """Read-only tier-3 lookup: ``(record_or_None, corruptions)``.
+
+        Bypasses :class:`EmissionCache`'s own counters (which belong to
+        legacy-mode runs) but keeps its healing behaviour: a malformed
+        shard is unlinked so the slot cannot mis-serve again.
+        """
+        path = self.shards.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None, 0
+        try:
+            record = EmissionRecord.from_json_obj(json.loads(raw))
+        except (ValueError, RecordError):
+            logger.debug("unlinking corrupted legacy shard %s", path)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None, 1
+        return record, 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        key: str,
+        tele: Optional[CacheTelemetry] = None,
+        promote_disk: bool = True,
+    ) -> Optional[EmissionRecord]:
+        """Walk memory → sqlite → shards; promote a hit upward.
+
+        ``promote_disk`` gates the shards→sqlite promotion write —
+        read-mode runs (``cache="read"``) must never create files, so
+        they promote disk hits into memory only.
+        """
+        record = self.memory.get(key)
+        if record is not None:
+            if tele:
+                tele.note(TIER_MEMORY, "hits")
+            return record
+        if tele:
+            tele.note(TIER_MEMORY, "misses")
+
+        record, corrupt = self.disk.get(key)
+        if tele:
+            tele.note(TIER_SQLITE, "corruptions", corrupt)
+        if record is not None:
+            if tele:
+                tele.note(TIER_SQLITE, "hits")
+                tele.note(TIER_MEMORY, "promotions")
+            evicted = self.memory.put(key, record)
+            if tele:
+                tele.note(TIER_MEMORY, "evictions", evicted)
+            return record
+        if tele:
+            tele.note(TIER_SQLITE, "misses")
+
+        record, corrupt = self._shards_get(key)
+        if tele:
+            tele.note(TIER_SHARDS, "corruptions", corrupt)
+        if record is not None:
+            if tele:
+                tele.note(TIER_SHARDS, "hits")
+            if promote_disk:
+                _, _, evicted = self.disk.put(key, record)
+                if tele:
+                    tele.note(TIER_SQLITE, "promotions")
+                    tele.note(TIER_SQLITE, "evictions", evicted)
+            evicted = self.memory.put(key, record)
+            if tele:
+                tele.note(TIER_MEMORY, "promotions")
+                tele.note(TIER_MEMORY, "evictions", evicted)
+            return record
+        if tele:
+            tele.note(TIER_SHARDS, "misses")
+        return None
+
+    def put(
+        self, key: str, record: EmissionRecord, tele: Optional[CacheTelemetry] = None
+    ) -> bool:
+        """Write-through: sqlite (durable) first, then memory.
+
+        A torn tier-2 write (injected ``corrupt_shard`` fault) skips the
+        memory population — the semantic is "the writer died mid-commit",
+        and a phantom tier-1 copy would hide the damage from the very
+        read that is supposed to detect and heal it.
+        """
+        stored, torn, evicted = self.disk.put(key, record)
+        if tele:
+            tele.note(TIER_SQLITE, "puts", 1 if stored else 0)
+            tele.note(TIER_SQLITE, "evictions", evicted)
+        if not stored:
+            return False
+        if not torn:
+            mem_evicted = self.memory.put(key, record)
+            if tele:
+                tele.note(TIER_MEMORY, "puts")
+                tele.note(TIER_MEMORY, "evictions", mem_evicted)
+        return True
+
+    def invalidate(self, key: str, tele: Optional[CacheTelemetry] = None) -> None:
+        """Drop one entry from every tier (failed hit re-verification)."""
+        del tele  # reserved: invalidations are visible via cache_rejected
+        self.memory.invalidate(key)
+        self.disk.invalidate(key)
+        self.shards.invalidate(key)
+
+
+__all__ = [
+    "CacheTelemetry",
+    "DEFAULT_MEMORY_ENTRIES",
+    "MemoryTier",
+    "SqliteTier",
+    "TieredEmissionCache",
+    "TIER_MEMORY",
+    "TIER_NAMES",
+    "TIER_OPS",
+    "TIER_SHARDS",
+    "TIER_SQLITE",
+]

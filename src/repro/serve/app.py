@@ -399,6 +399,11 @@ class SynthesisServer:
         payload["tenants"] = {
             name: stats.as_dict() for name, stats in sorted(self.queue.tenants.items())
         }
+        # Process-lifetime fleet counters (shared across every job this
+        # daemon ran): singleflight dedup totals, in-flight gauges.
+        from repro.runtime.fleet import get_fleet
+
+        payload["fleet"] = get_fleet().snapshot()
         await self._send_json(writer, 200, payload)
 
     async def _handle_submit(
@@ -518,12 +523,21 @@ def _execute(
     the mapped network's exact BLIF text, byte-identical to what a
     serial ``ddbdd synth -o`` run writes for the same input and config.
     """
+    from dataclasses import replace
+
     from repro.flow import run_flow
     from repro.network import network_to_blif
 
+    config = request.config
+    if config.fleet_weight == 1 and request.priority > 0:
+        # Queue priority doubles as the fleet's fair-share admission
+        # weight (ISSUE: "quotas become fleet admission weights"): a
+        # high-priority job is entitled to a bigger worker share while
+        # in flight.  An explicit config.fleet_weight wins unchanged.
+        config = replace(config, fleet_weight=1 + request.priority // 10)
     result = run_flow(
         request.net,
-        request.config,
+        config,
         script=request.pipeline_script,
         observer=observer,
     )

@@ -32,7 +32,11 @@ _CACHE_COUNTERS = (
     "cache_puts",
     "cache_rejected",
     "cache_corruptions",
+    "cache_evictions",
 )
+
+#: Singleflight counters summed 1:1 into the registry (schema 2).
+_DEDUP_COUNTERS = ("dedup_hits", "dedup_retries")
 
 
 class MetricsRegistry:
@@ -48,6 +52,9 @@ class MetricsRegistry:
         self.supernodes = 0
         self.failures_recovered = 0
         self.cache: Dict[str, int] = {k: 0 for k in _CACHE_COUNTERS}
+        self.dedup: Dict[str, int] = {k: 0 for k in _DEDUP_COUNTERS}
+        #: tier name -> op name -> count (schema 2 ``cache_tiers``).
+        self.cache_tiers: Dict[str, Dict[str, int]] = {}
         #: Complement-edge store counters (see DESIGN.md §7): free
         #: negations and shared rows summed over jobs; the peak store
         #: column footprint of any single pass.
@@ -71,6 +78,12 @@ class MetricsRegistry:
         self.supernodes += int(stats.get("supernodes", 0))
         for key in _CACHE_COUNTERS:
             self.cache[key] += int(stats.get(key, 0))
+        for key in _DEDUP_COUNTERS:
+            self.dedup[key] += int(stats.get(key, 0))
+        for tier, ops in dict(stats.get("cache_tiers", {})).items():
+            cell = self.cache_tiers.setdefault(str(tier), {})
+            for op, count in dict(ops).items():
+                cell[str(op)] = cell.get(str(op), 0) + int(count)
         for name, seconds in dict(stats.get("stage_seconds", {})).items():
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + float(seconds)
         last_unique_saved = 0
@@ -110,6 +123,11 @@ class MetricsRegistry:
             "failures_recovered": self.failures_recovered,
             "failure_kinds": dict(self.failure_kinds),
             **{k: v for k, v in self.cache.items()},
+            **{k: v for k, v in self.dedup.items()},
+            "cache_tiers": {
+                tier: dict(sorted(ops.items()))
+                for tier, ops in sorted(self.cache_tiers.items())
+            },
             "bdd_neg_free": self.bdd_neg_free,
             "bdd_unique_saved": self.bdd_unique_saved,
             "bdd_store_bytes_peak": self.bdd_store_bytes_peak,
@@ -164,6 +182,26 @@ class MetricsRegistry:
             "counter",
             "Emission-cache operations summed over served jobs.",
             [(f'{{op="{k.removeprefix("cache_")}"}}', float(v)) for k, v in self.cache.items()],
+        )
+        emit(
+            "ddbdd_cache_tier_ops_total",
+            "counter",
+            "Tiered-cache operations by tier and op, summed over served jobs.",
+            [
+                (f'{{tier="{tier}",op="{op}"}}', float(count))
+                for tier, ops in sorted(self.cache_tiers.items())
+                for op, count in sorted(ops.items())
+            ]
+            or [("", 0.0)],
+        )
+        emit(
+            "ddbdd_dedup_total",
+            "counter",
+            "Singleflight outcomes for deduplicated supernode jobs.",
+            [
+                ('{result="hit"}', float(self.dedup["dedup_hits"])),
+                ('{result="retry"}', float(self.dedup["dedup_retries"])),
+            ],
         )
         emit(
             "ddbdd_supernodes_total",

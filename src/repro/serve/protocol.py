@@ -47,6 +47,8 @@ CONFIG_ALLOWLIST = (
     "cache",
     "cache_dir",
     "cache_max_entries",
+    "cache_tier",
+    "fleet_weight",
     "verify_level",
     "collapse",
     "final_packing",

@@ -4,12 +4,29 @@ poisoning recovery, LRU bounds."""
 from __future__ import annotations
 
 import json
+import sqlite3
 
 from repro.core import DDBDDConfig, ddbdd_synthesize
 from repro.runtime.cache import EmissionCache
 from repro.runtime.emission import EmissionCell, EmissionRecord
+from repro.runtime.fleet import reset_fleet
+from repro.runtime.signature import SIGNATURE_VERSION
 from tests.conftest import assert_equivalent, random_gate_network
 from tests.runtime.helpers import net_dump
+
+
+def _sqlite_rows(tmp_path):
+    """``[(key, payload)]`` of the tier-2 store under ``tmp_path``."""
+    db = tmp_path / f"v{SIGNATURE_VERSION}.sqlite"
+    assert db.exists()
+    with sqlite3.connect(db) as conn:
+        return list(conn.execute("SELECT key, payload FROM records"))
+
+
+def _sqlite_set_payload(tmp_path, key, payload):
+    db = tmp_path / f"v{SIGNATURE_VERSION}.sqlite"
+    with sqlite3.connect(db) as conn:
+        conn.execute("UPDATE records SET payload = ? WHERE key = ?", (payload, key))
 
 
 def _record(tag: int = 0) -> EmissionRecord:
@@ -60,27 +77,57 @@ def test_read_mode_never_writes(tmp_path):
     assert result.runtime_stats.cache_hits == 0
     assert result.runtime_stats.cache_puts == 0
     assert len(EmissionCache(tmp_path)) == 0
+    # Read mode must not even materialize the tier-2 database file.
+    assert not (tmp_path / f"v{SIGNATURE_VERSION}.sqlite").exists()
 
 
-def test_corrupted_shards_recover(tmp_path):
+def test_corrupted_tier2_rows_recover(tmp_path):
     net = random_gate_network(8, n_pi=10, n_gates=50, n_po=5)
     serial = ddbdd_synthesize(net, DDBDDConfig())
     ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    rows = _sqlite_rows(tmp_path)
+    assert rows
+    for key, _ in rows:
+        _sqlite_set_payload(tmp_path, key, "{ not json")
+    # Drop the fleet's process-wide memory tier so the damaged sqlite
+    # rows are actually read back.
+    reset_fleet()
+    redo = ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    assert net_dump(redo.network) == net_dump(serial.network)
+    assert redo.runtime_stats.cache_hits == 0
+    assert redo.runtime_stats.cache_misses == len(rows)
+    # Satellite (a): every damaged row is counted as a healed corruption
+    # and surfaces in the run's stats (and --stats render), attributed
+    # to the sqlite tier.
+    assert redo.runtime_stats.cache_corruptions == len(rows)
+    assert f"corruptions={len(rows)}" in redo.runtime_stats.render()
+    assert redo.runtime_stats.cache_tiers["sqlite"]["corruptions"] == len(rows)
+    # The damaged rows were dropped and rewritten with good content.
+    warm = ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    assert warm.runtime_stats.cache_misses == 0
+
+
+def test_corrupted_shards_recover_legacy(tmp_path):
+    # The legacy sharded-JSON stack stays fully supported behind
+    # ``cache_tier=legacy`` — same corruption-healing contract as ever.
+    net = random_gate_network(8, n_pi=10, n_gates=50, n_po=5)
+    serial = ddbdd_synthesize(net, DDBDDConfig())
+    def cfg() -> DDBDDConfig:
+        return DDBDDConfig(
+            cache="readwrite", cache_dir=str(tmp_path), cache_tier="legacy"
+        )
+    ddbdd_synthesize(net, cfg())
     cache = EmissionCache(tmp_path)
     entries = cache.entries()
     assert entries
     for path in entries:
         path.write_text("{ not json", encoding="utf-8")
-    redo = ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    redo = ddbdd_synthesize(net, cfg())
     assert net_dump(redo.network) == net_dump(serial.network)
     assert redo.runtime_stats.cache_hits == 0
     assert redo.runtime_stats.cache_misses == len(entries)
-    # Satellite (b): every damaged shard is counted as a healed
-    # corruption and surfaces in the run's stats (and --stats render).
     assert redo.runtime_stats.cache_corruptions == len(entries)
-    assert f"corruptions={len(entries)}" in redo.runtime_stats.render()
-    # The damaged files were dropped and rewritten with good content.
-    warm = ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
+    warm = ddbdd_synthesize(net, cfg())
     assert warm.runtime_stats.cache_misses == 0
 
 
@@ -88,10 +135,9 @@ def test_poisoned_record_rejected_by_verification(tmp_path):
     net = random_gate_network(9, n_pi=10, n_gates=50, n_po=5)
     serial = ddbdd_synthesize(net, DDBDDConfig())
     ddbdd_synthesize(net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path)))
-    cache = EmissionCache(tmp_path)
     poisoned = 0
-    for path in cache.entries():
-        obj = json.loads(path.read_text(encoding="utf-8"))
+    for key, payload in _sqlite_rows(tmp_path):
+        obj = json.loads(payload)
         out_ref = obj["out"][0]
         if not out_ref.startswith("c"):
             continue
@@ -102,9 +148,10 @@ def test_poisoned_record_rejected_by_verification(tmp_path):
         idx = int(out_ref[1:])
         fanins, truth = obj["cells"][idx]
         obj["cells"][idx] = [fanins, "".join("1" if b == "0" else "0" for b in truth)]
-        path.write_text(json.dumps(obj), encoding="utf-8")
+        _sqlite_set_payload(tmp_path, key, json.dumps(obj))
         poisoned += 1
     assert poisoned > 0
+    reset_fleet()
     redo = ddbdd_synthesize(
         net, DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path), verify_level=1)
     )

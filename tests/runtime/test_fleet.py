@@ -1,0 +1,194 @@
+"""Fleet scheduler: singleflight dedup across concurrent requests,
+fair-share admission, store selection — and the PR's acceptance line:
+K simultaneous requests, each byte-identical to its clean serial run,
+with every duplicated signature computed exactly once."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.runtime.cache import EmissionCache
+from repro.runtime.fleet import get_fleet, reset_fleet
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.tiers import TieredEmissionCache
+from tests.conftest import random_gate_network
+from tests.runtime.helpers import net_dump
+
+import repro.runtime.fleet as fleet_mod
+import repro.runtime.schedule as sched
+
+
+# ----------------------------------------------------------------------
+# Store selection
+# ----------------------------------------------------------------------
+def test_store_for_cache_off_is_none(tmp_path):
+    fleet = get_fleet()
+    assert fleet.store_for(DDBDDConfig(cache="off")) is None
+
+
+def test_store_for_tiered_is_shared_per_root(tmp_path):
+    fleet = get_fleet()
+    cfg = DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path))
+    a = fleet.store_for(cfg)
+    b = fleet.store_for(DDBDDConfig(cache="read", cache_dir=str(tmp_path)))
+    assert isinstance(a, TieredEmissionCache)
+    assert a is b, "tier 1 only works if every request on a root shares it"
+    other = fleet.store_for(DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path / "x")))
+    assert other is not a
+
+
+def test_store_for_legacy_is_per_run(tmp_path):
+    fleet = get_fleet()
+    cfg = DDBDDConfig(cache="readwrite", cache_dir=str(tmp_path), cache_tier="legacy")
+    a = fleet.store_for(cfg)
+    b = fleet.store_for(cfg)
+    assert isinstance(a, EmissionCache)
+    assert a is not b, "legacy mode keeps the old per-run counter semantics"
+
+
+# ----------------------------------------------------------------------
+# Fair-share admission
+# ----------------------------------------------------------------------
+def test_allowance_splits_workers_by_weight(tmp_path):
+    reset_fleet()
+    fleet = get_fleet()
+    fleet._shared_runner().workers  # materialize the runner
+    workers = fleet._shared_runner().workers
+    heavy = DDBDDConfig(jobs=workers or 1, cache="readwrite",
+                        cache_dir=str(tmp_path), fleet_weight=3)
+    light = DDBDDConfig(jobs=workers or 1, cache="readwrite",
+                        cache_dir=str(tmp_path), fleet_weight=1)
+    store = fleet.store_for(heavy)
+    with fleet.register(heavy, RuntimeStats(), store=store) as hreq:
+        with fleet.register(light, RuntimeStats(), store=store) as lreq:
+            ha, la = fleet.allowance(hreq), fleet.allowance(lreq)
+            assert ha >= 1 and la >= 1
+            assert ha == min(heavy.effective_jobs, max(1, workers * 3 // 4))
+            assert la == min(light.effective_jobs, max(1, workers * 1 // 4))
+        # Sole remaining request: the full worker set is its share again.
+        assert fleet.allowance(hreq) == min(heavy.effective_jobs, workers)
+    reset_fleet()
+
+
+# ----------------------------------------------------------------------
+# Acceptance: K concurrent identical requests
+# ----------------------------------------------------------------------
+def test_concurrent_identical_requests_dedup_exactly(tmp_path, monkeypatch):
+    """K=4 simultaneous submissions of the same circuit: every request's
+    output is byte-identical to the clean serial run, every duplicated
+    signature is computed exactly once, and the duplicate count shows up
+    as dedup hits."""
+    K = 4
+    reset_fleet()
+    # Force the inline compute path so the gate below intercepts it.
+    monkeypatch.setattr(sched, "MIN_POOL_WORK", 10**9)
+
+    net = random_gate_network(13, n_pi=10, n_gates=60, n_po=6)
+    clean = ddbdd_synthesize(net, DDBDDConfig(jobs=1, faults=None))
+
+    fleet = get_fleet()
+    real_compute = fleet_mod.run_supernode_job_guarded
+
+    def gated(job):
+        # Hold each leader's computation until the other K-1 requests
+        # have registered as followers of this signature (they register
+        # all of a wave's flights before waiting on any, so this cannot
+        # deadlock).  The timeout is a hang-safety valve only.
+        key = job.signature()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            with fleet._lock:
+                flight = fleet._flights.get(key)
+                waiting = flight.followers if flight is not None else K - 1
+            if waiting >= K - 1:
+                break
+            time.sleep(0.001)
+        return real_compute(job)
+
+    monkeypatch.setattr(fleet_mod, "run_supernode_job_guarded", gated)
+
+    before = fleet.snapshot()
+    results: list = [None] * K
+    errors: list = []
+
+    def run(i: int) -> None:
+        try:
+            results[i] = ddbdd_synthesize(net, DDBDDConfig(
+                jobs=1, cache="readwrite", cache_dir=str(tmp_path), faults=None,
+            ))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(K)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors, errors
+    assert all(r is not None for r in results), "a request hung"
+
+    # Hard determinism line: every concurrent run equals the serial one.
+    for r in results:
+        assert net_dump(r.network) == net_dump(clean.network)
+        assert (r.depth, r.area) == (clean.depth, clean.area)
+        assert r.po_depths == clean.po_depths
+
+    after = fleet.snapshot()
+    stats = [r.runtime_stats for r in results]
+    per_request = stats[0].cache_misses
+    assert per_request > 0
+    assert all(s.cache_misses == per_request for s in stats)
+    # Exactly one request's worth of jobs was computed across all K...
+    assert after["jobs_computed"] - before["jobs_computed"] == per_request
+    # ...and every duplicate resolved as a dedup hit, none as a retry.
+    duplicates = K * per_request - per_request
+    assert sum(s.dedup_hits for s in stats) == duplicates
+    assert sum(s.dedup_retries for s in stats) == 0
+    assert after["dedup_hits"] - before["dedup_hits"] == duplicates
+    assert after["flights_in_flight"] == 0
+    reset_fleet()
+
+
+def test_concurrent_distinct_requests_stay_independent(tmp_path):
+    """Unrelated circuits in flight together: no cross-talk, each output
+    byte-identical to its own clean serial run."""
+    reset_fleet()
+    nets = [random_gate_network(20 + i, n_pi=8, n_gates=40, n_po=4)
+            for i in range(3)]
+    cleans = [ddbdd_synthesize(n, DDBDDConfig(jobs=1, faults=None)) for n in nets]
+
+    results: list = [None] * len(nets)
+    errors: list = []
+
+    def run(i: int) -> None:
+        try:
+            results[i] = ddbdd_synthesize(nets[i], DDBDDConfig(
+                jobs=2, cache="readwrite", cache_dir=str(tmp_path), faults=None,
+            ))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(len(nets))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors, errors
+    for clean, result in zip(cleans, results):
+        assert result is not None
+        assert net_dump(result.network) == net_dump(clean.network)
+        assert (result.depth, result.area) == (clean.depth, clean.area)
+    reset_fleet()
+
+
+def test_snapshot_shape():
+    reset_fleet()
+    snap = get_fleet().snapshot()
+    assert set(snap) >= {
+        "dedup_hits", "dedup_retries", "jobs_computed",
+        "flights_in_flight", "requests_active", "stores",
+    }
+    assert all(isinstance(v, int) for v in snap.values())
+    reset_fleet()

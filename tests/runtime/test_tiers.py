@@ -1,0 +1,243 @@
+"""Tiered content-addressed store: per-tier LRU/corruption/promotion
+behaviour, cross-process-safe tier-2 writes, legacy-shard migration."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+
+from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.runtime.cache import EmissionCache
+from repro.runtime.emission import EmissionCell, EmissionRecord
+from repro.runtime.fleet import reset_fleet
+from repro.runtime.signature import SIGNATURE_VERSION
+from repro.runtime.tiers import (
+    CacheTelemetry,
+    MemoryTier,
+    SqliteTier,
+    TieredEmissionCache,
+    TIER_NAMES,
+    TIER_OPS,
+)
+from tests.conftest import random_gate_network
+from tests.runtime.helpers import net_dump
+
+
+def _record(tag: int = 0) -> EmissionRecord:
+    return EmissionRecord(
+        cells=(EmissionCell(("v0", "v1"), "0001"),),
+        out_ref="c0",
+        out_neg=False,
+        out_depth=1 + tag % 3,
+        states_visited=tag,
+        bdd_size=3,
+        num_inputs=2,
+    )
+
+
+def _key(i: int) -> str:
+    return f"{i:02x}" + f"{i:062x}"
+
+
+# ----------------------------------------------------------------------
+# Tier 1: memory
+# ----------------------------------------------------------------------
+def test_memory_tier_lru_and_counters():
+    tier = MemoryTier(max_entries=3)
+    for i in range(3):
+        assert tier.put(_key(i), _record(i)) == 0
+    # A read refreshes recency, so key 0 survives the next eviction.
+    assert tier.get(_key(0)) == _record(0)
+    assert tier.put(_key(3), _record(3)) == 1
+    assert tier.get(_key(1)) is None  # the true LRU victim
+    assert tier.get(_key(0)) is not None
+    assert len(tier) == 3
+    assert (tier.hits, tier.misses, tier.puts, tier.evictions) == (2, 1, 4, 1)
+    tier.invalidate(_key(0))
+    assert tier.get(_key(0)) is None
+    tier.clear()
+    assert len(tier) == 0
+
+
+# ----------------------------------------------------------------------
+# Tier 2: sqlite
+# ----------------------------------------------------------------------
+def test_sqlite_tier_roundtrip_and_read_mode_creates_nothing(tmp_path):
+    tier = SqliteTier(tmp_path)
+    record, corrupt = tier.get(_key(1))
+    assert record is None and corrupt == 0
+    # A pure read against an absent store must not materialize the file.
+    assert not tier.path.exists()
+    assert tier.put(_key(1), _record(1)) == (True, False, 0)
+    assert tier.path.exists()
+    record, corrupt = tier.get(_key(1))
+    assert record == _record(1) and corrupt == 0
+    assert tier.keys() == [_key(1)]
+    assert (tier.hits, tier.misses, tier.puts) == (1, 1, 1)
+    tier.invalidate(_key(1))
+    assert tier.get(_key(1))[0] is None
+
+
+def test_sqlite_tier_malformed_row_heals_and_counts(tmp_path):
+    tier = SqliteTier(tmp_path)
+    assert tier.put(_key(2), _record())[0]
+    with sqlite3.connect(tier.path) as conn:
+        conn.execute("UPDATE records SET payload = '{ not json'")
+    record, corrupt = tier.get(_key(2))
+    assert record is None and corrupt == 1
+    assert tier.corruptions == 1
+    # The row was deleted: the slot round-trips again.
+    assert tier.put(_key(2), _record())[0]
+    assert tier.get(_key(2))[0] == _record()
+
+
+def test_sqlite_tier_damaged_file_heals_wholesale(tmp_path):
+    tier = SqliteTier(tmp_path)
+    assert tier.put(_key(3), _record())[0]
+    tier.path.write_bytes(b"this is not a sqlite database at all")
+    record, corrupt = tier.get(_key(3))
+    assert record is None and corrupt == 1
+    assert not tier.path.exists(), "damaged db must be unlinked"
+    assert tier.put(_key(3), _record())[0]
+    assert tier.get(_key(3))[0] == _record()
+
+
+def test_sqlite_tier_evicts_least_recently_touched(tmp_path):
+    tier = SqliteTier(tmp_path, max_entries=3)
+    for i in range(6):
+        assert tier.put(_key(i), _record(i))[0]
+    # Touch key 0 so it is the most recent despite being the oldest put.
+    assert tier.get(_key(0))[0] is not None
+    assert tier.evict_to_cap() == 3
+    assert tier.evictions == 3
+    survivors = set(tier.keys())
+    assert _key(0) in survivors and len(survivors) == 3
+
+
+def test_sqlite_tier_concurrent_writers_share_one_file(tmp_path):
+    # Satellite (a): two independent store handles (as two daemon
+    # processes sharing --cache-dir would hold) hammer the same database
+    # from separate threads; sqlite's transactions keep every row whole.
+    a, b = SqliteTier(tmp_path), SqliteTier(tmp_path)
+    errors = []
+
+    def writer(tier, base):
+        try:
+            for i in range(40):
+                assert tier.put(_key(base + i), _record(i))[0]
+        except Exception as exc:  # pragma: no cover - the test's point
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(a, 0)),
+        threading.Thread(target=writer, args=(b, 100)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    reader = SqliteTier(tmp_path)
+    keys = reader.keys()
+    assert len(keys) == 80
+    for key in keys:
+        record, corrupt = reader.get(key)
+        assert record is not None and corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# The stacked store
+# ----------------------------------------------------------------------
+def test_tiered_put_writes_sqlite_and_memory_not_shards(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    tele = CacheTelemetry()
+    assert store.put(_key(4), _record(), tele)
+    assert len(store.memory) == 1
+    assert len(store.disk) == 1
+    assert len(store.shards) == 0, "tiered runs never write the legacy layout"
+    assert tele.tiers["sqlite"]["puts"] == 1
+    assert tele.tiers["memory"]["puts"] == 1
+
+
+def test_tiered_get_promotes_shard_hit_upward(tmp_path):
+    # Prime only the legacy tier, as an old cache directory would be.
+    legacy = EmissionCache(tmp_path)
+    assert legacy.put(_key(5), _record(5))
+    store = TieredEmissionCache(tmp_path)
+    tele = CacheTelemetry()
+    assert store.get(_key(5), tele) == _record(5)
+    assert tele.tiers["shards"]["hits"] == 1
+    assert tele.tiers["sqlite"]["promotions"] == 1
+    assert tele.tiers["memory"]["promotions"] == 1
+    # Promoted copies now serve without touching the shard tree.
+    assert len(store.disk) == 1
+    tele2 = CacheTelemetry()
+    assert store.get(_key(5), tele2) == _record(5)
+    assert tele2.tiers["memory"]["hits"] == 1
+    assert tele2.tiers["sqlite"]["hits"] == 0
+
+
+def test_tiered_get_read_mode_never_promotes_to_disk(tmp_path):
+    legacy = EmissionCache(tmp_path)
+    assert legacy.put(_key(6), _record(6))
+    store = TieredEmissionCache(tmp_path)
+    assert store.get(_key(6), promote_disk=False) == _record(6)
+    assert not store.disk.path.exists(), "read mode must not create files"
+    assert len(store.memory) == 1  # memory promotion is free of files
+
+
+def test_tiered_invalidate_drops_every_tier(tmp_path):
+    legacy = EmissionCache(tmp_path)
+    assert legacy.put(_key(7), _record(7))
+    store = TieredEmissionCache(tmp_path)
+    assert store.get(_key(7)) is not None  # promoted everywhere
+    store.invalidate(_key(7))
+    assert store.get(_key(7)) is None
+    assert len(store.memory) == 0
+    assert len(store.disk) == 0
+    assert store.shards.get(_key(7)) is None
+
+
+def test_telemetry_shape_and_totals():
+    tele = CacheTelemetry()
+    assert set(tele.tiers) == set(TIER_NAMES)
+    for counters in tele.tiers.values():
+        assert set(counters) == set(TIER_OPS)
+    tele.note("memory", "hits")
+    tele.note("sqlite", "hits", 2)
+    assert tele.total("hits") == 3
+    payload = json.loads(json.dumps(tele.as_dict()))
+    assert payload["sqlite"]["hits"] == 2
+
+
+# ----------------------------------------------------------------------
+# Flow-level migration: legacy shards warm the tiered store
+# ----------------------------------------------------------------------
+def test_legacy_cache_dir_migrates_into_tiers(tmp_path):
+    net = random_gate_network(12, n_pi=10, n_gates=50, n_po=5)
+    serial = ddbdd_synthesize(net, DDBDDConfig())
+    # Populate the directory with the legacy stack only.
+    legacy = ddbdd_synthesize(net, DDBDDConfig(
+        cache="readwrite", cache_dir=str(tmp_path), cache_tier="legacy",
+    ))
+    assert legacy.runtime_stats.cache_puts > 0
+    assert EmissionCache(tmp_path).entries()
+    reset_fleet()
+    # First tiered contact: every hit comes from the shard tier and is
+    # promoted into sqlite + memory.
+    warm = ddbdd_synthesize(net, DDBDDConfig(
+        cache="readwrite", cache_dir=str(tmp_path),
+    ))
+    assert net_dump(warm.network) == net_dump(serial.network)
+    assert warm.runtime_stats.cache_misses == 0
+    tiers = warm.runtime_stats.cache_tiers
+    assert tiers["shards"]["hits"] == warm.runtime_stats.cache_hits
+    assert tiers["sqlite"]["promotions"] == warm.runtime_stats.cache_hits
+    assert (tmp_path / f"v{SIGNATURE_VERSION}.sqlite").exists()
+    # Second tiered run: served from the promoted copies.
+    again = ddbdd_synthesize(net, DDBDDConfig(
+        cache="readwrite", cache_dir=str(tmp_path),
+    ))
+    assert again.runtime_stats.cache_misses == 0
+    assert again.runtime_stats.cache_tiers["shards"]["hits"] == 0
