@@ -13,10 +13,20 @@ serving contract:
 5. the tiered cache works end to end: a cache-armed submit materializes
    the sqlite tier on disk, and a repeat submit is served entirely from
    the tier stack (zero misses) with identical BLIF;
-6. ``/metrics`` serves both JSON and Prometheus renderings, including
-   the per-tier cache counters and fleet dedup telemetry;
-7. SIGTERM drains gracefully: the daemon finishes its work, prints the
+6. the daemon doubles as a **remote cache shard**: ``/v1/cache/<sig>``
+   serves the records its own jobs stored (hex-key validation, 404 on
+   miss, 400 on garbage), and ``/healthz`` reports cache-tier
+   reachability plus remote breaker state;
+7. ``/metrics`` serves both JSON and Prometheus renderings, including
+   the per-tier cache counters, fleet dedup telemetry and the remote
+   breaker/claims families;
+8. SIGTERM drains gracefully: the daemon finishes its work, prints the
    drain summary, and exits 0.
+
+Every HTTP probe runs under its own hard timeout (``--probe-timeout``,
+long-running submits under ``--timeout``); a hung endpoint exits
+nonzero **naming the check that hung** instead of tracebacking out of a
+socket read.
 
 Exit status: 0 when every check passes, 1 otherwise.  Pure stdlib; run
 as ``PYTHONPATH=src python scripts/ddbdd_doctor.py [--circuit NAME]``.
@@ -32,6 +42,7 @@ import os
 import re
 import shutil
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -42,6 +53,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
+
+#: Default hard bound per HTTP probe (fast endpoints: healthz, metrics,
+#: cache, polls).  Submits use the looser ``--timeout``.
+DEFAULT_PROBE_TIMEOUT_S = 60.0
 
 _CHECKS: List[str] = []
 
@@ -56,8 +71,15 @@ def check(label: str, ok: bool, detail: str = "") -> None:
 
 def request(
     port: int, method: str, path: str, payload: Optional[Dict[str, Any]] = None,
-    timeout: float = 300.0,
+    timeout: float = DEFAULT_PROBE_TIMEOUT_S, label: str = "",
 ) -> Tuple[int, Any]:
+    """One HTTP probe under a hard per-check timeout.
+
+    A hang or connection failure exits nonzero naming ``label`` (or the
+    method+path) — the doctor's contract is "the failing check is named
+    on stderr", never a bare socket traceback.
+    """
+    what = label or f"{method} {path}"
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         body = json.dumps(payload) if payload is not None else None
@@ -68,6 +90,15 @@ def request(
         if "json" in ctype and "ndjson" not in ctype:
             return response.status, json.loads(raw)
         return response.status, raw.decode("utf-8")
+    except (socket.timeout, TimeoutError) as exc:
+        raise SystemExit(
+            f"ddbdd_doctor: check failed: {what} — probe hung past "
+            f"{timeout}s ({exc})"
+        ) from exc
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"ddbdd_doctor: check failed: {what} — probe error: {exc}"
+        ) from exc
     finally:
         conn.close()
 
@@ -87,6 +118,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--circuit", default="misex1", help="Table-I circuit to submit")
     parser.add_argument("--timeout", type=float, default=300.0, help="per-step timeout")
+    parser.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=DEFAULT_PROBE_TIMEOUT_S,
+        help="hard bound per fast HTTP probe (healthz/metrics/cache/polls); "
+        "a hang exits nonzero naming the check",
+    )
     args = parser.parse_args(argv)
 
     print(f"ddbdd_doctor: golden serial run of {args.circuit!r} ...")
@@ -95,8 +133,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    cache_root = tempfile.mkdtemp(prefix="ddbdd_doctor_cache_")
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        [
+            sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+            "--cache-root", cache_root,
+        ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -118,7 +160,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 break
         check("daemon announces its port", port > 0, line.strip())
 
-        status, health = request(port, "GET", "/healthz", timeout=args.timeout)
+        status, health = request(
+            port, "GET", "/healthz",
+            timeout=args.probe_timeout, label="/healthz answers 200",
+        )
         check("/healthz answers 200", status == 200)
         check(
             "/healthz carries schema+version",
@@ -126,13 +171,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             str(health.get("version")),
         )
         check("daemon is serving", health.get("state") == "serving")
+        tiers_health = health.get("cache_tiers")
+        check(
+            "/healthz reports cache-tier reachability",
+            isinstance(tiers_health, dict)
+            and tiers_health.get("configured") is True
+            and tiers_health.get("sqlite_ok") is True,
+            str(tiers_health),
+        )
+        check(
+            "/healthz reports remote breaker state",
+            isinstance(health.get("remote_breakers"), dict),
+            str(health.get("remote_breakers")),
+        )
 
         status, snap = request(
             port,
             "POST",
             "/v1/synthesize",
             {"benchmark": args.circuit, "mode": "sync", "emit": "blif"},
-            timeout=args.timeout,
+            timeout=args.timeout, label="sync submit answers 200/done",
         )
         check("sync submit answers 200/done", status == 200 and snap["state"] == "done")
         result = snap["result"]
@@ -149,20 +207,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         status, accepted = request(
             port, "POST", "/v1/synthesize", {"benchmark": args.circuit},
-            timeout=args.timeout,
+            timeout=args.timeout, label="async submit answers 202",
         )
         check("async submit answers 202", status == 202)
         job_id = accepted["job"]["id"]
         state = ""
         poll_deadline = time.monotonic() + args.timeout
         while time.monotonic() < poll_deadline:
-            status, polled = request(port, "GET", f"/v1/jobs/{job_id}")
+            status, polled = request(
+                port, "GET", f"/v1/jobs/{job_id}",
+                timeout=args.probe_timeout, label="async job polls to done",
+            )
             state = polled["state"]
             if state in ("done", "failed"):
                 break
             time.sleep(0.1)
         check("async job polls to done", state == "done", state)
-        status, stream = request(port, "GET", f"/v1/jobs/{job_id}/events")
+        status, stream = request(
+            port, "GET", f"/v1/jobs/{job_id}/events",
+            timeout=args.timeout, label="event stream replays the job",
+        )
         events = [json.loads(row) for row in str(stream).strip().splitlines()]
         check(
             "event stream replays the job",
@@ -170,51 +234,95 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{len(events)} events",
         )
 
-        cache_dir = tempfile.mkdtemp(prefix="ddbdd_doctor_cache_")
-        try:
-            cached = {
-                "benchmark": args.circuit,
-                "mode": "sync",
-                "emit": "blif",
-                "config": {"cache": "readwrite", "cache_dir": cache_dir},
-            }
-            status, cold = request(port, "POST", "/v1/synthesize", cached,
-                                   timeout=args.timeout)
-            check("cache-armed submit answers 200/done",
-                  status == 200 and cold["state"] == "done")
-            cold_stats = cold["result"]["stats"]
-            check("cold run populates the store",
-                  cold_stats["cache_puts"] > 0,
-                  f"puts={cold_stats['cache_puts']}")
-            check(
-                "sqlite tier materialized on disk",
-                bool(glob.glob(os.path.join(cache_dir, "v*.sqlite"))),
-                ",".join(sorted(os.listdir(cache_dir))),
-            )
-            status, warm = request(port, "POST", "/v1/synthesize", cached,
-                                   timeout=args.timeout)
-            check("warm repeat answers 200/done",
-                  status == 200 and warm["state"] == "done")
-            warm_stats = warm["result"]["stats"]
-            check(
-                "warm repeat served entirely from the tier stack",
-                warm_stats["cache_misses"] == 0 and warm_stats["cache_hits"] > 0,
-                f"hits={warm_stats['cache_hits']} misses={warm_stats['cache_misses']}",
-            )
-            tier_hits = {
-                tier: counters["hits"]
-                for tier, counters in warm_stats["cache_tiers"].items()
-            }
-            check(
-                "tier telemetry attributes the warm hits",
-                sum(tier_hits.values()) >= warm_stats["cache_hits"],
-                str(tier_hits),
-            )
-            check("warm BLIF identical to cold", warm["result"]["blif"] == cold["result"]["blif"])
-        finally:
-            shutil.rmtree(cache_dir, ignore_errors=True)
+        cached = {
+            "benchmark": args.circuit,
+            "mode": "sync",
+            "emit": "blif",
+            "config": {"cache": "readwrite", "cache_dir": cache_root},
+        }
+        status, cold = request(port, "POST", "/v1/synthesize", cached,
+                               timeout=args.timeout,
+                               label="cache-armed submit answers 200/done")
+        check("cache-armed submit answers 200/done",
+              status == 200 and cold["state"] == "done")
+        cold_stats = cold["result"]["stats"]
+        check("cold run populates the store",
+              cold_stats["cache_puts"] > 0,
+              f"puts={cold_stats['cache_puts']}")
+        check(
+            "sqlite tier materialized on disk",
+            bool(glob.glob(os.path.join(cache_root, "v*.sqlite"))),
+            ",".join(sorted(os.listdir(cache_root))),
+        )
+        status, warm = request(port, "POST", "/v1/synthesize", cached,
+                               timeout=args.timeout,
+                               label="warm repeat answers 200/done")
+        check("warm repeat answers 200/done",
+              status == 200 and warm["state"] == "done")
+        warm_stats = warm["result"]["stats"]
+        check(
+            "warm repeat served entirely from the tier stack",
+            warm_stats["cache_misses"] == 0 and warm_stats["cache_hits"] > 0,
+            f"hits={warm_stats['cache_hits']} misses={warm_stats['cache_misses']}",
+        )
+        tier_hits = {
+            tier: counters["hits"]
+            for tier, counters in warm_stats["cache_tiers"].items()
+        }
+        check(
+            "tier telemetry attributes the warm hits",
+            sum(tier_hits.values()) >= warm_stats["cache_hits"],
+            str(tier_hits),
+        )
+        check("warm BLIF identical to cold", warm["result"]["blif"] == cold["result"]["blif"])
 
-        status, metrics = request(port, "GET", "/metrics")
+        # The daemon serves its own cache root at /v1/cache/<sig>: the
+        # records the cache-armed job just stored must round-trip.
+        from repro.runtime.tiers import SqliteTier
+
+        keys = SqliteTier(cache_root).keys()
+        check("shard store holds the job's records", len(keys) > 0, f"{len(keys)} keys")
+        status, record = request(
+            port, "GET", f"/v1/cache/{keys[0]}",
+            timeout=args.probe_timeout, label="cache GET serves a stored record",
+        )
+        check(
+            "cache GET serves a stored record",
+            status == 200 and isinstance(record, dict) and "cells" in record,
+            f"status={status}",
+        )
+        status, body = request(
+            port, "GET", "/v1/cache/" + "0" * 64,
+            timeout=args.probe_timeout, label="cache GET misses with 404",
+        )
+        check(
+            "cache GET misses with 404",
+            status == 404 and body["error"]["code"] == "cache_miss",
+            f"status={status}",
+        )
+        status, body = request(
+            port, "GET", "/v1/cache/not-hex",
+            timeout=args.probe_timeout, label="cache GET rejects non-hex keys",
+        )
+        check(
+            "cache GET rejects non-hex keys",
+            status == 400 and body["error"]["code"] == "invalid_signature",
+            f"status={status}",
+        )
+        status, body = request(
+            port, "PUT", "/v1/cache/" + "1" * 64, {"cells": "garbage"},
+            timeout=args.probe_timeout, label="cache PUT rejects garbage records",
+        )
+        check(
+            "cache PUT rejects garbage records",
+            status == 400 and body["error"]["code"] == "invalid_record",
+            f"status={status}",
+        )
+
+        status, metrics = request(
+            port, "GET", "/metrics",
+            timeout=args.probe_timeout, label="/metrics JSON aggregates served jobs",
+        )
         check(
             "/metrics JSON aggregates served jobs",
             status == 200 and metrics["jobs_observed"] >= 2,
@@ -224,7 +332,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "cache_tiers" in metrics and "dedup_hits" in metrics
             and metrics["fleet"]["flights_in_flight"] == 0,
         )
-        status, prom = request(port, "GET", "/metrics?format=prometheus")
+        status, prom = request(
+            port, "GET", "/metrics?format=prometheus",
+            timeout=args.probe_timeout, label="/metrics renders Prometheus text",
+        )
         check(
             "/metrics renders Prometheus text",
             status == 200 and "# TYPE ddbdd_jobs_total counter" in str(prom),
@@ -233,6 +344,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Prometheus text exposes tier/dedup families",
             "ddbdd_cache_tier_ops_total" in str(prom)
             and "ddbdd_dedup_total" in str(prom),
+        )
+        check(
+            "Prometheus text exposes remote breaker/claims families",
+            "ddbdd_breaker_state" in str(prom)
+            and "ddbdd_remote_ops_total" in str(prom)
+            and "ddbdd_claims_total" in str(prom),
         )
 
         proc.send_signal(signal.SIGTERM)
@@ -247,6 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if proc.poll() is None:
             proc.kill()
             proc.wait()
+        shutil.rmtree(cache_root, ignore_errors=True)
 
     print(f"ddbdd_doctor: all {len(_CHECKS)} checks passed")
     return 0

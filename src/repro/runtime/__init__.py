@@ -13,9 +13,15 @@ provides an equivalent engine that
   (:mod:`repro.runtime.fleet`),
 * memoizes supernode DP emissions in a tiered content-addressed store —
   in-process LRU over a cross-process-safe sqlite file, with the legacy
-  sharded-JSON layout as a read-compatible migration tier
-  (:mod:`repro.runtime.tiers`, :mod:`repro.runtime.cache`,
-  :mod:`repro.runtime.signature`), and
+  sharded-JSON layout as a read-compatible migration tier and an
+  optional remote HTTP shard (a ``ddbdd serve --cache-root`` daemon)
+  as the slowest rung, fault-hardened behind per-endpoint circuit
+  breakers (:mod:`repro.runtime.tiers`, :mod:`repro.runtime.remote`,
+  :mod:`repro.runtime.cache`, :mod:`repro.runtime.signature`),
+* coordinates whole *fleets* of daemons sharing one cache root through
+  generation-stamped sqlite claim leases, so each content signature is
+  computed exactly once fleet-wide even across process boundaries
+  (:mod:`repro.runtime.fleet`, :mod:`repro.runtime.tiers`), and
 * reports per-stage/per-wavefront telemetry and recovered-failure rows
   (:mod:`repro.runtime.stats`), and
 * survives worker death, budget breaches and cache corruption: jobs run
@@ -38,6 +44,15 @@ from repro.runtime.fleet import (
     WaveItem,
     get_fleet,
     reset_fleet,
+)
+from repro.runtime.remote import (
+    BreakerPolicy,
+    CircuitBreaker,
+    RemoteClient,
+    RemoteResult,
+    client_for,
+    remote_snapshot,
+    reset_remote_clients,
 )
 from repro.runtime.tiers import (
     CacheTelemetry,
@@ -94,6 +109,13 @@ __all__ = [
     "WaveItem",
     "get_fleet",
     "reset_fleet",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "RemoteClient",
+    "RemoteResult",
+    "client_for",
+    "remote_snapshot",
+    "reset_remote_clients",
     "EmissionCell",
     "EmissionRecord",
     "FailureReport",

@@ -55,7 +55,9 @@ of hanging.
 from __future__ import annotations
 
 import os
+import socket
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -71,10 +73,13 @@ from repro.runtime.pool import (
     SupernodeJob,
     run_supernode_job_guarded,
 )
+from repro.runtime.remote import client_for
 from repro.runtime.signature import dag_size
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.tiers import (
     DEFAULT_MEMORY_ENTRIES,
+    TIER_MEMORY,
+    TIER_SQLITE,
     CacheTelemetry,
     TieredEmissionCache,
 )
@@ -84,6 +89,16 @@ from repro.runtime.tiers import (
 #: (Table I circuits complete in seconds); only a leader that died
 #: without publishing ever runs the clock out.
 FLIGHT_WAIT_TIMEOUT_S = 300.0
+
+#: Cross-daemon claim-wait cadence: a waiter polls the shared tier-2
+#: store every :data:`CLAIM_POLL_S` seconds and takes over (reaps) a
+#: lease it has watched go silent for :data:`CLAIM_REAP_TICKS` polls.
+#: The *decision* to reap is tick-counted, never wall-clocked, so the
+#: takeover trajectory is deterministic per observed lease history; the
+#: sleep only paces the polling.  Module-level so tests can shrink the
+#: budget.
+CLAIM_POLL_S = 0.02
+CLAIM_REAP_TICKS = 250
 
 #: Either cache backend, or no cache at all.
 CacheStore = Union[TieredEmissionCache, EmissionCache]
@@ -133,6 +148,7 @@ class FleetRequest:
     tele: Optional[CacheTelemetry] = None
     runner: Optional[JobRunner] = None
     events: List[PoolFailureEvent] = field(default_factory=list)
+    _net_only: Optional[bool] = field(default=None, repr=False, compare=False)
 
     @property
     def weight(self) -> int:
@@ -147,31 +163,67 @@ class FleetRequest:
         return self.store is not None and self.config.cache == "readwrite"
 
     @property
+    def net_only_faults(self) -> bool:
+        """Whether the request's fault plan perturbs *only* the remote
+        boundary (``net_*`` kinds).  Such plans never change what a job
+        computes — records come out exactly as a clean run's — so they
+        do not poison sharing the way job/put-addressed plans do."""
+        if self._net_only is None:
+            if self.config.faults is None:
+                self._net_only = False
+            else:
+                try:
+                    plan = fault_mod.FaultPlan.parse(self.config.faults)
+                    self._net_only = plan.net_only
+                except fault_mod.FaultPlanError:
+                    self._net_only = False
+        return self._net_only
+
+    @property
     def follows(self) -> bool:
         """Whether this request may splice other requests' results.
-        Fault-armed requests never follow: their job-sequence fault
-        addressing assumes they execute their own jobs."""
-        return self.config.faults is None
+        Job-fault-armed requests never follow: their job-sequence fault
+        addressing assumes they execute their own jobs.  Net-only plans
+        follow normally — they only perturb the remote boundary."""
+        return self.config.faults is None or self.net_only_faults
 
     @property
     def shares(self) -> bool:
         """Whether this request's results may be handed to followers.
-        Fault-armed results are never shared — an injected fault must
-        not leak beyond the request that asked for it."""
-        return self.config.faults is None
+        Job-fault-armed results are never shared — an injected fault
+        must not leak beyond the request that asked for it.  Net-only
+        plans share normally: their records are byte-identical to a
+        clean run's."""
+        return self.config.faults is None or self.net_only_faults
 
     # ------------------------------------------------------------------
-    def store_get(self, key: str) -> Optional[EmissionRecord]:
+    def store_get(
+        self, key: str, job: Optional[SupernodeJob] = None
+    ) -> Optional[EmissionRecord]:
         assert self.store is not None
         if isinstance(self.store, TieredEmissionCache):
-            return self.store.get(key, self.tele, promote_disk=self.writable)
+            verify = None
+            name = ""
+            if job is not None:
+                bound_job = job
+                verify = lambda record: self.verify(record, bound_job)  # noqa: E731
+                name = bound_job.name
+            return self.store.get(
+                key, self.tele, promote_disk=self.writable, verify=verify, job=name
+            )
         return self.store.get(key)
 
-    def store_put(self, key: str, record: EmissionRecord) -> bool:
+    def store_put(
+        self, key: str, record: EmissionRecord, job_name: str = ""
+    ) -> bool:
         assert self.store is not None
         if isinstance(self.store, TieredEmissionCache):
-            return self.store.put(key, record, self.tele)
+            return self.store.put(key, record, self.tele, job=job_name)
         return self.store.put(key, record)
+
+    def note_claim(self, event: str, n: int = 1) -> None:
+        """Bump one cross-daemon claim counter on the run's stats."""
+        self.stats.claims[event] = self.stats.claims.get(event, 0) + n
 
     def store_invalidate(self, key: str) -> None:
         assert self.store is not None
@@ -226,6 +278,20 @@ class FleetScheduler:
                 store.memory.max_entries = max(
                     1, min(DEFAULT_MEMORY_ENTRIES, config.cache_max_entries)
                 )
+            # The tier-4 remote client follows the latest request's
+            # configuration: attach (or retune) the process-wide client
+            # for the configured shard URL, or detach when the request
+            # runs local-only.  Clients are registered per URL, so
+            # re-attaching never resets breaker state.
+            if config.cache_remote:
+                store.remote = client_for(
+                    config.cache_remote,
+                    deadline_s=config.remote_deadline_s,
+                    retries=config.remote_retries,
+                    breaker_spec=config.remote_breaker,
+                )
+            else:
+                store.remote = None
         return store
 
     @contextmanager
@@ -333,11 +399,203 @@ class FleetScheduler:
             else:
                 leaders.append((item, flight))
 
-        self._compute_leaders(req, leaders, results, inline_threshold)
+        # Cross-daemon singleflight: one transaction claims every key
+        # this request is about to compute.  Keys another process holds
+        # a live lease on move to the claim-wait path — this daemon will
+        # splice the foreign daemon's record out of the shared tier-2
+        # store instead of recomputing it.
+        leases: Dict[str, int] = {}
+        claim_waits: List[Tuple[WaveItem, Optional[_Flight], int]] = []
+        if leaders and self._claims_enabled(req):
+            assert isinstance(req.store, TieredEmissionCache)
+            keyed = [item.key for item, _ in leaders if item.key is not None]
+            grants = (
+                req.store.disk.claim_many(keyed, self._claim_owner())
+                if keyed
+                else {}
+            )
+            remaining: List[Tuple[WaveItem, Optional[_Flight]]] = []
+            for item, flight in leaders:
+                if item.key is None:
+                    remaining.append((item, flight))
+                    continue
+                status, generation, _holder = grants.get(
+                    item.key, ("error", 0, "")
+                )
+                if status == "won":
+                    # Late-hit recheck: a foreign daemon may have
+                    # computed and released this key between our tier
+                    # walk (which missed) and the claim (which won).
+                    # One extra tier-2 read keeps duplicate submits
+                    # compute-once even across that window.
+                    record, _corrupt = req.store.disk.get(item.key)
+                    if record is not None and req.verify(record, item.job):
+                        req.store.disk.release_claims([(item.key, generation)])
+                        if req.tele is not None:
+                            req.tele.note(TIER_SQLITE, "hits")
+                            req.tele.note(TIER_MEMORY, "promotions")
+                        req.store.memory.put(item.key, record)
+                        req.note_claim("hits")
+                        outcome = JobOutcome(record)
+                        results[item.name] = outcome
+                        if flight is not None:
+                            self._publish(
+                                item.key, flight, outcome if req.shares else None
+                            )
+                        continue
+                    if record is not None:
+                        req.store_invalidate(item.key)
+                        req.stats.cache_rejected += 1
+                    req.note_claim("won")
+                    leases[item.key] = generation
+                    remaining.append((item, flight))
+                elif status == "held":
+                    req.note_claim("held")
+                    claim_waits.append((item, flight, generation))
+                else:
+                    # sqlite degraded: claims are an optimization, so
+                    # compute uncoordinated rather than fail or wait.
+                    remaining.append((item, flight))
+            leaders = remaining
+
+        try:
+            self._compute_leaders(req, leaders, results, inline_threshold)
+        finally:
+            # Leases release *after* the records are durably in tier 2
+            # (puts happen inside _compute_leaders) — and also on any
+            # escape, so a dying daemon frees its waiters promptly.
+            if leases:
+                assert isinstance(req.store, TieredEmissionCache)
+                req.store.disk.release_claims(list(leases.items()))
+                req.note_claim("released", len(leases))
+
+        for item, flight, generation in claim_waits:
+            results[item.name] = self._await_claim(req, item, flight, generation)
 
         for item, flight in followed:
             results[item.name] = self._await_flight(req, item, flight)
         return results
+
+    # ------------------------------------------------------------------
+    def _claims_enabled(self, req: FleetRequest) -> bool:
+        """Cross-daemon claims apply to shareable read-write tiered
+        runs: the tier-2 store is the coordination medium, so legacy
+        stores, read-only and cache-off runs are out, as are
+        job-fault-armed runs (whose results are never shareable)."""
+        return (
+            isinstance(req.store, TieredEmissionCache)
+            and req.writable
+            and req.shares
+            and req.config.cache_claims
+        )
+
+    @staticmethod
+    def _claim_owner() -> str:
+        """Lease owner id: unique per daemon process sharing a root."""
+        return f"{socket.gethostname()}:{os.getpid()}"
+
+    def _await_claim(
+        self,
+        req: FleetRequest,
+        item: WaveItem,
+        flight: Optional[_Flight],
+        generation: int,
+    ) -> JobOutcome:
+        """Cross-daemon follower: poll the shared tier-2 store while a
+        foreign daemon computes our key.
+
+        Deterministic ladder per observed lease history: the record
+        appearing → verified splice (``claims["hits"]``); the lease
+        vanishing without a record → re-claim and compute; the lease
+        going silent for :data:`CLAIM_REAP_TICKS` polls → generation-
+        guarded takeover (``claims["reaped"]``) and compute.  A lease
+        that changes generation restarts the tick budget — someone else
+        reaped it first and is computing afresh.  Any in-process flight
+        this request registered for the key publishes on exit either
+        way, so local followers are never stranded.
+        """
+        assert isinstance(req.store, TieredEmissionCache)
+        assert item.key is not None
+        store = req.store
+        owner = self._claim_owner()
+        lease: Optional[int] = None
+        outcome: Optional[JobOutcome] = None
+        try:
+            with req.stats.stage("claim"):
+                ticks = 0
+                while True:
+                    record, _corrupt = store.disk.get(item.key)
+                    if record is not None:
+                        # A record that crosses a process boundary is
+                        # re-verified regardless of verify_level, like
+                        # in-process dedup splices.
+                        if req.verify(record, item.job):
+                            if req.tele is not None:
+                                req.tele.note(TIER_SQLITE, "hits")
+                                req.tele.note(TIER_MEMORY, "promotions")
+                            store.memory.put(item.key, record)
+                            req.note_claim("hits")
+                            outcome = JobOutcome(record)
+                        else:
+                            req.store_invalidate(item.key)
+                            req.stats.cache_rejected += 1
+                        break
+                    state = store.disk.claim_state(item.key)
+                    if state is None:
+                        # Lease gone, no record: the holder failed or
+                        # released empty-handed.  Take the key ourselves.
+                        status, gen2, _holder = store.disk.claim_many(
+                            [item.key], owner
+                        )[item.key]
+                        if status == "won":
+                            lease = gen2
+                            req.note_claim("won")
+                            break
+                        if status != "held":
+                            break  # sqlite degraded: compute uncoordinated
+                        generation, ticks = gen2, 0
+                    else:
+                        _holder, gen2, _waits = state
+                        if gen2 != generation:
+                            generation, ticks = gen2, 0
+                        ticks += 1
+                        store.disk.bump_claim_wait(item.key, generation)
+                        if ticks >= CLAIM_REAP_TICKS:
+                            status, gen3, _holder = store.disk.reap_claim(
+                                item.key, generation, owner
+                            )
+                            if status == "won":
+                                lease = gen3
+                                req.note_claim("reaped")
+                                break
+                            if status == "held":
+                                generation, ticks = gen3, 0
+                            elif status == "gone":
+                                ticks = 0
+                            else:
+                                break  # sqlite degraded
+                    time.sleep(CLAIM_POLL_S)
+            if outcome is None:
+                with req.stats.stage("dp"):
+                    outcome = self._compute_single(req, item.job)
+                if outcome.ok and req.writable:
+                    with req.stats.stage("cache"):
+                        if req.store_put(item.key, outcome.record, item.name):
+                            req.stats.cache_puts += 1
+                with self._lock:
+                    self.jobs_computed += 1
+            return outcome
+        finally:
+            if lease is not None:
+                store.disk.release_claims([(item.key, lease)])
+                req.note_claim("released")
+            if flight is not None:
+                shareable = (
+                    outcome
+                    if (outcome is not None and outcome.ok and req.shares)
+                    else None
+                )
+                self._publish(item.key, flight, shareable)
 
     # ------------------------------------------------------------------
     def _try_cache(self, req: FleetRequest, item: WaveItem) -> Optional[EmissionRecord]:
@@ -347,7 +605,7 @@ class FleetScheduler:
         record: Optional[EmissionRecord] = None
         if req.readable:
             with req.stats.stage("cache"):
-                record = req.store_get(item.key)
+                record = req.store_get(item.key, item.job)
                 if record is not None and req.config.verify_level >= 1:
                     if not req.verify(record, item.job):
                         req.store_invalidate(item.key)
@@ -404,7 +662,7 @@ class FleetScheduler:
         for (item, flight), outcome in zip(leaders, outcomes):
             if outcome.ok and req.writable and item.key is not None:
                 with req.stats.stage("cache"):
-                    if req.store_put(item.key, outcome.record):
+                    if req.store_put(item.key, outcome.record, item.name):
                         req.stats.cache_puts += 1
             # Breach outcomes go back to the engine's degradation ladder
             # un-published as results but the flight must still release:
@@ -452,7 +710,7 @@ class FleetScheduler:
             outcome = self._compute_single(req, item.job)
         if outcome.ok and req.writable and item.key is not None:
             with req.stats.stage("cache"):
-                if req.store_put(item.key, outcome.record):
+                if req.store_put(item.key, outcome.record, item.name):
                     req.stats.cache_puts += 1
         with self._lock:
             self.jobs_computed += 1
@@ -531,6 +789,8 @@ def reset_fleet() -> None:
 
 
 __all__ = [
+    "CLAIM_POLL_S",
+    "CLAIM_REAP_TICKS",
     "CacheStore",
     "FLIGHT_WAIT_TIMEOUT_S",
     "FleetRequest",

@@ -48,7 +48,7 @@ from repro.runtime.fleet import WaveItem, get_fleet
 from repro.runtime.pool import JobOutcome, JobRunner, SupernodeJob
 from repro.runtime.signature import CanonicalDAG, export_dag
 from repro.runtime.stats import FailureReport, RuntimeStats
-from repro.runtime.tiers import CacheTelemetry
+from repro.runtime.tiers import CacheTelemetry, TieredEmissionCache
 
 KIND_CONST = "const"
 KIND_LITERAL = "literal"
@@ -347,6 +347,13 @@ def wavefront_supernodes(
         stats.cache_tiers = tele.as_dict()
         stats.cache_corruptions += tele.total("corruptions")
         stats.cache_evictions += tele.total("evictions")
+        stats.failures.extend(tele.failures)
+        if isinstance(store, TieredEmissionCache) and store.remote is not None:
+            stats.remote = {
+                "url": store.remote.url,
+                "ops": dict(tele.remote),
+                "breaker": store.remote.breaker_states(),
+            }
     elif isinstance(store, EmissionCache):
         stats.cache_corruptions += store.corruptions
         stats.cache_evictions += store.evictions

@@ -18,14 +18,33 @@ synthesis requests from one process, so the flat sharded-JSON store of
   *read-compatible migration path*: tiered runs never write it, but a
   hit there is promoted into tiers 2 and 1 so an old cache directory
   warms the new store on first contact.
+* **Tier 4 — remote** (:class:`~repro.runtime.remote.RemoteClient`,
+  attached via :attr:`TieredEmissionCache.remote`): a fault-hardened
+  HTTP shard behind ``/v1/cache/<sig>`` on a serve daemon.  Walked
+  last on reads — and only when the caller supplies a ``verify``
+  callback, because a remote record must pass the ``verify_record``
+  spot-simulation *before* it is promoted into tiers 1/2; a record that
+  fails is quarantined (never stored, never returned) and the client's
+  circuit breaker is fed.  Writes fan out best-effort after the local
+  tiers.  Remote faults — timeout, refusal, garbage, breaker trips —
+  degrade the walk to local tiers silently; they surface only as
+  ``kind="remote"`` :class:`~repro.runtime.stats.FailureReport` rows and
+  telemetry counters, never as errors.
 
-:meth:`TieredEmissionCache.get` walks memory → sqlite → shards and
-promotes hits upward; :meth:`TieredEmissionCache.put` writes sqlite
-first (the durable copy) and then memory.  Per-tier
-hit/miss/put/eviction/corruption/promotion counters are recorded both on
-the tiers themselves (process-lifetime, for ``/metrics``) and into an
-optional per-run :class:`CacheTelemetry`, which the engine folds into
+:meth:`TieredEmissionCache.get` walks memory → sqlite → shards → remote
+and promotes hits upward; :meth:`TieredEmissionCache.put` writes sqlite
+first (the durable copy), then memory, then the remote fan-out.
+Per-tier hit/miss/put/eviction/corruption/promotion counters are
+recorded both on the tiers themselves (process-lifetime, for
+``/metrics``) and into an optional per-run :class:`CacheTelemetry`,
+which the engine folds into
 :class:`~repro.runtime.stats.RuntimeStats.cache_tiers`.
+
+The tier-2 store also carries the **cross-daemon singleflight claim
+table**: transactional claim-or-wait rows with generation-stamped
+leases (see :meth:`SqliteTier.claim_many`), so two daemons sharing a
+cache root compute each signature once fleet-wide, and a daemon that
+dies mid-flight is reaped by a waiter on a deterministic tick budget.
 
 Every operation stays best-effort like the legacy store: corruption —
 a malformed sqlite payload, an unreadable shard, even a damaged sqlite
@@ -43,12 +62,19 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.resilience import faults as fault_mod
 from repro.runtime.cache import DEFAULT_MAX_ENTRIES, EmissionCache
 from repro.runtime.emission import EmissionRecord, RecordError
+from repro.runtime.remote import (
+    FAULT_BREAKER_OPEN,
+    FAULT_GARBAGE,
+    RemoteClient,
+    RemoteResult,
+)
 from repro.runtime.signature import SIGNATURE_VERSION
+from repro.runtime.stats import FailureReport
 
 logger = logging.getLogger(__name__)
 
@@ -57,10 +83,27 @@ logger = logging.getLogger(__name__)
 TIER_MEMORY = "memory"
 TIER_SQLITE = "sqlite"
 TIER_SHARDS = "shards"
-TIER_NAMES = (TIER_MEMORY, TIER_SQLITE, TIER_SHARDS)
+TIER_REMOTE = "remote"
+TIER_NAMES = (TIER_MEMORY, TIER_SQLITE, TIER_SHARDS, TIER_REMOTE)
 
 #: Stable per-tier counter names.
 TIER_OPS = ("hits", "misses", "puts", "evictions", "corruptions", "promotions")
+
+#: Stable keys of the per-run remote-op breakdown
+#: (:attr:`CacheTelemetry.remote`, folded into ``RuntimeStats.remote``):
+#: one counter per failure slug the client can report, plus transport
+#: ``retries`` spent and breaker ``trips`` observed by this run.
+REMOTE_OP_KEYS = (
+    "timeout",
+    "refused",
+    "unreachable",
+    "http_error",
+    "garbage",
+    "breaker_open",
+    "quarantined",
+    "retries",
+    "trips",
+)
 
 #: Default entry cap of the in-process memory tier; records are a few
 #: KB, so this bounds tier 1 to single-digit MB per cache root.
@@ -88,11 +131,60 @@ class CacheTelemetry:
         self.tiers: Dict[str, Dict[str, int]] = {
             tier: {op: 0 for op in TIER_OPS} for tier in TIER_NAMES
         }
+        #: Per-run remote-op breakdown (:data:`REMOTE_OP_KEYS` vocabulary).
+        self.remote: Dict[str, int] = {key: 0 for key in REMOTE_OP_KEYS}
+        #: ``kind="remote"`` failure rows this run's remote traffic
+        #: produced; the engine splices them into ``RuntimeStats.failures``.
+        self.failures: List[FailureReport] = []
 
     def note(self, tier: str, op: str, n: int = 1) -> None:
         """Record ``n`` occurrences of ``op`` on ``tier``."""
         if n:
             self.tiers[tier][op] += n
+
+    def note_remote_result(self, result: RemoteResult, op: str, job: str) -> None:
+        """Fold one :class:`~repro.runtime.remote.RemoteResult` into the
+        per-run remote breakdown and failure rows.
+
+        Policy: one ``kind="remote"`` row per *failed logical op* and
+        one per breaker trip; breaker-open skips are counted but silent
+        (a dead shard must not flood the failure list with one row per
+        skipped lookup)."""
+        self.remote["retries"] += result.retries
+        if result.fault is None:
+            return
+        if result.fault == FAULT_BREAKER_OPEN:
+            self.remote["breaker_open"] += 1
+            return
+        self.remote[result.fault] += 1
+        self.failures.append(
+            FailureReport(
+                job=job,
+                seq=0,
+                kind="remote",
+                reason=result.fault,
+                retries=result.retries,
+                rung=op,
+            )
+        )
+        if result.tripped:
+            self.note_breaker_trip(op, job)
+
+    def note_breaker_trip(self, op: str, job: str) -> None:
+        """Record one breaker trip (closed/half-open → open) as a
+        ``reason="breaker_open"`` failure row — the single row that
+        marks the start of a degrade-to-local outage window."""
+        self.remote["trips"] += 1
+        self.failures.append(
+            FailureReport(
+                job=job,
+                seq=0,
+                kind="remote",
+                reason=FAULT_BREAKER_OPEN,
+                retries=0,
+                rung=op,
+            )
+        )
 
     def total(self, op: str) -> int:
         """Sum of ``op`` across every tier."""
@@ -209,6 +301,15 @@ class SqliteTier:
         conn.execute(
             "CREATE TABLE IF NOT EXISTS records ("
             "key TEXT PRIMARY KEY, payload TEXT NOT NULL, touched REAL NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS claims ("
+            "key TEXT PRIMARY KEY, owner TEXT NOT NULL, "
+            "generation INTEGER NOT NULL, waits INTEGER NOT NULL DEFAULT 0)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS claim_gen ("
+            "id INTEGER PRIMARY KEY CHECK (id = 1), gen INTEGER NOT NULL)"
         )
         return conn
 
@@ -349,6 +450,196 @@ class SqliteTier:
             if conn is not None:
                 conn.close()
 
+    # ------------------------------------------------------------------
+    # Cross-daemon singleflight claims.
+    #
+    # A claim row is a lease: "owner is computing key right now".  Rows
+    # are generation-stamped from a monotonic counter table, so every
+    # lease instance is distinguishable — a waiter that decides to reap
+    # a stale lease can only delete the *exact* lease it watched go
+    # silent, never a fresh one that replaced it in the meantime.
+    # Every method is best-effort: any sqlite error degrades to
+    # "no coordination" (the caller computes independently), because
+    # claims are a dedup optimization, never a correctness gate.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_generation(conn: sqlite3.Connection) -> int:
+        conn.execute("INSERT OR IGNORE INTO claim_gen (id, gen) VALUES (1, 0)")
+        conn.execute("UPDATE claim_gen SET gen = gen + 1 WHERE id = 1")
+        return int(
+            conn.execute("SELECT gen FROM claim_gen WHERE id = 1").fetchone()[0]
+        )
+
+    def claim_many(
+        self, keys: Sequence[str], owner: str
+    ) -> Dict[str, Tuple[str, int, str]]:
+        """Atomically claim every key in one transaction.
+
+        Returns ``{key: ("won", generation, owner)}`` for freshly
+        claimed keys, ``("held", generation, holder)`` for keys another
+        process already holds, and ``("error", 0, "")`` for all of them
+        when sqlite failed (degrade to uncoordinated compute).  One
+        ``BEGIN IMMEDIATE`` transaction per wave keeps the overhead at
+        two lock acquisitions per wave, not per key.
+        """
+        out: Dict[str, Tuple[str, int, str]] = {
+            key: ("error", 0, "") for key in keys
+        }
+        if not keys:
+            return out
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=True)
+                assert conn is not None
+                conn.isolation_level = None
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    staged: Dict[str, Tuple[str, int, str]] = {}
+                    generation: Optional[int] = None
+                    for key in keys:
+                        row = conn.execute(
+                            "SELECT owner, generation FROM claims WHERE key = ?",
+                            (key,),
+                        ).fetchone()
+                        if row is not None:
+                            staged[key] = ("held", int(row[1]), str(row[0]))
+                            continue
+                        if generation is None:
+                            generation = self._next_generation(conn)
+                        conn.execute(
+                            "INSERT INTO claims (key, owner, generation, waits) "
+                            "VALUES (?, ?, ?, 0)",
+                            (key, owner, generation),
+                        )
+                        staged[key] = ("won", generation, owner)
+                    conn.execute("COMMIT")
+                    out.update(staged)
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error:
+                pass
+            finally:
+                if conn is not None:
+                    conn.close()
+        return out
+
+    def release_claims(self, leases: Sequence[Tuple[str, int]]) -> None:
+        """Release held leases (``(key, generation)`` pairs).
+
+        The generation guard means a lease that was already reaped (and
+        re-issued to someone else) is left alone.
+        """
+        if not leases:
+            return
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=False)
+                if conn is None:
+                    return
+                with conn:
+                    conn.executemany(
+                        "DELETE FROM claims WHERE key = ? AND generation = ?",
+                        [(key, gen) for key, gen in leases],
+                    )
+            except sqlite3.Error:
+                pass
+            finally:
+                if conn is not None:
+                    conn.close()
+
+    def claim_state(self, key: str) -> Optional[Tuple[str, int, int]]:
+        """``(owner, generation, waits)`` of the live lease, or ``None``."""
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=False)
+                if conn is None:
+                    return None
+                row = conn.execute(
+                    "SELECT owner, generation, waits FROM claims WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                if row is None:
+                    return None
+                return str(row[0]), int(row[1]), int(row[2])
+            except sqlite3.Error:
+                return None
+            finally:
+                if conn is not None:
+                    conn.close()
+
+    def bump_claim_wait(self, key: str, generation: int) -> bool:
+        """Tick the lease's ``waits`` column (telemetry that a waiter is
+        parked on it); False when that exact lease no longer exists."""
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=False)
+                if conn is None:
+                    return False
+                with conn:
+                    cur = conn.execute(
+                        "UPDATE claims SET waits = waits + 1 "
+                        "WHERE key = ? AND generation = ?",
+                        (key, generation),
+                    )
+                return cur.rowcount > 0
+            except sqlite3.Error:
+                return False
+            finally:
+                if conn is not None:
+                    conn.close()
+
+    def reap_claim(
+        self, key: str, generation: int, owner: str
+    ) -> Tuple[str, int, str]:
+        """Take over a stale lease: atomically replace lease
+        ``generation`` with a fresh one owned by ``owner``.
+
+        Returns ``("won", new_generation, owner)`` on takeover,
+        ``("held", current_generation, holder)`` when the lease changed
+        hands first (watch the new one), ``("gone", 0, "")`` when the
+        lease vanished (the holder released it — re-check the store,
+        then re-claim), or ``("error", 0, "")`` on sqlite failure.
+        """
+        with self._lock:
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                conn = self._connect(create=True)
+                assert conn is not None
+                conn.isolation_level = None
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    row = conn.execute(
+                        "SELECT owner, generation FROM claims WHERE key = ?",
+                        (key,),
+                    ).fetchone()
+                    if row is None:
+                        result = ("gone", 0, "")
+                    elif int(row[1]) != generation:
+                        result = ("held", int(row[1]), str(row[0]))
+                    else:
+                        new_gen = self._next_generation(conn)
+                        conn.execute(
+                            "UPDATE claims SET owner = ?, generation = ?, waits = 0 "
+                            "WHERE key = ?",
+                            (owner, new_gen, key),
+                        )
+                        result = ("won", new_gen, owner)
+                    conn.execute("COMMIT")
+                    return result  # type: ignore[return-value]
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error:
+                return ("error", 0, "")
+            finally:
+                if conn is not None:
+                    conn.close()
+
     def keys(self) -> List[str]:
         """Every key currently stored (deterministic order)."""
         with self._lock:
@@ -383,12 +674,16 @@ class TieredEmissionCache:
         root: Union[str, Path],
         max_entries: int = DEFAULT_MAX_ENTRIES,
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        remote: Optional[RemoteClient] = None,
     ) -> None:
         self.root = Path(root)
         self.memory = MemoryTier(min(memory_entries, max_entries))
         self.disk = SqliteTier(root, max_entries=max_entries)
         #: Legacy shard layout, used read-only (tier 3 migration path).
         self.shards = EmissionCache(root, max_entries=max_entries)
+        #: Optional tier-4 remote shard client (attached by the fleet's
+        #: store registry when a run configures ``--cache-remote``).
+        self.remote = remote
 
     # ------------------------------------------------------------------
     def _shards_get(self, key: str) -> Tuple[Optional[EmissionRecord], int]:
@@ -420,12 +715,22 @@ class TieredEmissionCache:
         key: str,
         tele: Optional[CacheTelemetry] = None,
         promote_disk: bool = True,
+        verify: Optional[Callable[[EmissionRecord], bool]] = None,
+        job: str = "",
     ) -> Optional[EmissionRecord]:
-        """Walk memory → sqlite → shards; promote a hit upward.
+        """Walk memory → sqlite → shards → remote; promote hits upward.
 
         ``promote_disk`` gates the shards→sqlite promotion write —
         read-mode runs (``cache="read"``) must never create files, so
         they promote disk hits into memory only.
+
+        The remote tier is walked only when a ``verify`` callback is
+        supplied: a record fetched over the network must pass the
+        ``verify_record`` spot-simulation *before* it is promoted into
+        the local tiers or returned.  A record that fails is quarantined
+        — dropped, counted as a remote corruption, and fed back to the
+        client's circuit breaker — and the walk reports a miss.  ``job``
+        labels any remote failure rows with the requesting supernode.
         """
         record = self.memory.get(key)
         if record is not None:
@@ -467,17 +772,66 @@ class TieredEmissionCache:
             return record
         if tele:
             tele.note(TIER_SHARDS, "misses")
+
+        if self.remote is not None and verify is not None:
+            result = self.remote.get(key)
+            if tele:
+                tele.note_remote_result(result, "get", job)
+            if result.record is not None:
+                if verify(result.record):
+                    if tele:
+                        tele.note(TIER_REMOTE, "hits")
+                    if promote_disk:
+                        _, _, evicted = self.disk.put(key, result.record)
+                        if tele:
+                            tele.note(TIER_SQLITE, "promotions")
+                            tele.note(TIER_SQLITE, "evictions", evicted)
+                    evicted = self.memory.put(key, result.record)
+                    if tele:
+                        tele.note(TIER_MEMORY, "promotions")
+                        tele.note(TIER_MEMORY, "evictions", evicted)
+                    return result.record
+                # Quarantine: structurally valid but semantically wrong —
+                # an adversarial or bit-rotted shard.  Never promoted,
+                # never returned; the breaker hears about it.
+                tripped = self.remote.note_quarantine()
+                if tele:
+                    tele.note(TIER_REMOTE, "corruptions")
+                    tele.remote["quarantined"] += 1
+                    tele.failures.append(
+                        FailureReport(
+                            job=job,
+                            seq=0,
+                            kind="remote",
+                            reason="quarantined",
+                            retries=0,
+                            rung="get",
+                        )
+                    )
+                    if tripped:
+                        tele.note_breaker_trip("get", job)
+            else:
+                if tele:
+                    if result.fault == FAULT_GARBAGE:
+                        tele.note(TIER_REMOTE, "corruptions")
+                    tele.note(TIER_REMOTE, "misses")
         return None
 
     def put(
-        self, key: str, record: EmissionRecord, tele: Optional[CacheTelemetry] = None
+        self,
+        key: str,
+        record: EmissionRecord,
+        tele: Optional[CacheTelemetry] = None,
+        job: str = "",
     ) -> bool:
-        """Write-through: sqlite (durable) first, then memory.
+        """Write-through: sqlite (durable) first, then memory, then a
+        best-effort remote fan-out.
 
         A torn tier-2 write (injected ``corrupt_shard`` fault) skips the
         memory population — the semantic is "the writer died mid-commit",
         and a phantom tier-1 copy would hide the damage from the very
-        read that is supposed to detect and heal it.
+        read that is supposed to detect and heal it.  It skips the
+        remote fan-out too, for the same reason.
         """
         stored, torn, evicted = self.disk.put(key, record)
         if tele:
@@ -490,6 +844,11 @@ class TieredEmissionCache:
             if tele:
                 tele.note(TIER_MEMORY, "puts")
                 tele.note(TIER_MEMORY, "evictions", mem_evicted)
+            if self.remote is not None:
+                result = self.remote.put(key, record)
+                if tele:
+                    tele.note(TIER_REMOTE, "puts", 1 if result.stored else 0)
+                    tele.note_remote_result(result, "put", job)
         return True
 
     def invalidate(self, key: str, tele: Optional[CacheTelemetry] = None) -> None:
@@ -504,11 +863,13 @@ __all__ = [
     "CacheTelemetry",
     "DEFAULT_MEMORY_ENTRIES",
     "MemoryTier",
+    "REMOTE_OP_KEYS",
     "SqliteTier",
     "TieredEmissionCache",
     "TIER_MEMORY",
     "TIER_NAMES",
     "TIER_OPS",
+    "TIER_REMOTE",
     "TIER_SHARDS",
     "TIER_SQLITE",
 ]

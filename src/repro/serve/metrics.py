@@ -55,6 +55,12 @@ class MetricsRegistry:
         self.dedup: Dict[str, int] = {k: 0 for k in _DEDUP_COUNTERS}
         #: tier name -> op name -> count (schema 2 ``cache_tiers``).
         self.cache_tiers: Dict[str, Dict[str, int]] = {}
+        #: Remote-tier op outcomes summed over jobs (schema 3
+        #: ``remote.ops``: timeout/refused/garbage/... counters).
+        self.remote_ops: Dict[str, int] = {}
+        #: Cross-daemon singleflight claim events summed over jobs
+        #: (schema 3 ``claims``: won/held/hits/reaped/released).
+        self.claims: Dict[str, int] = {}
         #: Complement-edge store counters (see DESIGN.md §7): free
         #: negations and shared rows summed over jobs; the peak store
         #: column footprint of any single pass.
@@ -84,6 +90,12 @@ class MetricsRegistry:
             cell = self.cache_tiers.setdefault(str(tier), {})
             for op, count in dict(ops).items():
                 cell[str(op)] = cell.get(str(op), 0) + int(count)
+        remote = stats.get("remote", {})
+        if isinstance(remote, Mapping):
+            for op, count in dict(remote.get("ops", {})).items():
+                self.remote_ops[str(op)] = self.remote_ops.get(str(op), 0) + int(count)
+        for event, count in dict(stats.get("claims", {})).items():
+            self.claims[str(event)] = self.claims.get(str(event), 0) + int(count)
         for name, seconds in dict(stats.get("stage_seconds", {})).items():
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + float(seconds)
         last_unique_saved = 0
@@ -128,6 +140,8 @@ class MetricsRegistry:
                 tier: dict(sorted(ops.items()))
                 for tier, ops in sorted(self.cache_tiers.items())
             },
+            "remote_ops": dict(sorted(self.remote_ops.items())),
+            "claims": dict(sorted(self.claims.items())),
             "bdd_neg_free": self.bdd_neg_free,
             "bdd_unique_saved": self.bdd_unique_saved,
             "bdd_store_bytes_peak": self.bdd_store_bytes_peak,
@@ -191,6 +205,37 @@ class MetricsRegistry:
                 (f'{{tier="{tier}",op="{op}"}}', float(count))
                 for tier, ops in sorted(self.cache_tiers.items())
                 for op, count in sorted(ops.items())
+            ]
+            or [("", 0.0)],
+        )
+        emit(
+            "ddbdd_remote_ops_total",
+            "counter",
+            "Remote cache-tier operation outcomes, summed over served jobs.",
+            [(f'{{op="{k}"}}', float(v)) for k, v in sorted(self.remote_ops.items())]
+            or [("", 0.0)],
+        )
+        emit(
+            "ddbdd_claims_total",
+            "counter",
+            "Cross-daemon singleflight claim events, summed over served jobs.",
+            [(f'{{event="{k}"}}', float(v)) for k, v in sorted(self.claims.items())]
+            or [("", 0.0)],
+        )
+        from repro.runtime.remote import BREAKER_STATES, remote_snapshot
+
+        emit(
+            "ddbdd_breaker_state",
+            "gauge",
+            "Remote-shard circuit-breaker state by URL and direction "
+            "(closed=0, half_open=1, open=2).",
+            [
+                (
+                    f'{{url="{url}",op="{op}"}}',
+                    float(BREAKER_STATES.index(str(br.get("state", "closed")))),
+                )
+                for url, snap in sorted(remote_snapshot().items())
+                for op, br in sorted(dict(snap.get("breakers", {})).items())
             ]
             or [("", 0.0)],
         )

@@ -48,6 +48,11 @@ CONFIG_ALLOWLIST = (
     "cache_dir",
     "cache_max_entries",
     "cache_tier",
+    "cache_remote",
+    "remote_deadline_s",
+    "remote_retries",
+    "remote_breaker",
+    "cache_claims",
     "fleet_weight",
     "verify_level",
     "collapse",

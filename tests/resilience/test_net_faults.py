@@ -1,0 +1,170 @@
+"""Network fault primitives (``net_*``) and the outage acceptance line:
+a dead, garbage or byzantine shard degrades to local tiers silently,
+byte-identical to a local-only run, with the breaker open and the
+failures visible only as structured telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_failure_reports
+from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.resilience import faults as fault_mod
+from repro.resilience.faults import FaultPlan, FaultPlanError, activated, is_net_kind
+from repro.runtime.fleet import reset_fleet
+from repro.runtime.remote import BREAKER_OPEN, reset_remote_clients
+from tests.conftest import random_gate_network
+from tests.runtime.helpers import net_dump
+from tests.runtime.test_remote import free_port
+
+
+# ----------------------------------------------------------------------
+# Grammar
+# ----------------------------------------------------------------------
+def test_parse_net_plan_and_describe_roundtrip():
+    plan = FaultPlan.parse(
+        "net_timeout@get=3; net_refuse@put=2 ;net_slow@get=5:1.5s;net_garbage@get=7"
+    )
+    assert [f.describe() for f in plan.faults] == [
+        "net_timeout@get=3",
+        "net_refuse@put=2",
+        "net_slow@get=5:1.5s",
+        "net_garbage@get=7",
+    ]
+    assert all(is_net_kind(f.kind) for f in plan.faults)
+    slow = plan.faults[2]
+    assert (slow.site, slow.n, slow.arg) == ("get", 5, 1.5)
+    assert plan.faults[0].remaining == 1
+    assert FaultPlan.parse("net_timeout@put=1x4").faults[0].remaining == 4
+
+
+def test_net_slow_default_arg_is_one_second():
+    assert FaultPlan.parse("net_slow@put=1").faults[0].arg == 1.0
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "net_timeout@job=1",     # net kinds fire at remote-op sites
+        "net_garbage@puts=1",    # unknown site token
+        "net_refuse@get",        # no =N
+        "net_timeout@get=0",     # N must be >= 1
+        "net_garbage@get=1:2s",  # only net_slow takes an :ARG
+        "net_slow@get=1:soon",   # ARG must be seconds
+        "raise@get=1",           # job kinds keep their own site
+        "corrupt_shard@get=1",   # put kinds keep their own site
+    ],
+)
+def test_parse_rejects_malformed_net_faults(bad):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.parse(bad)
+
+
+# ----------------------------------------------------------------------
+# Counter semantics
+# ----------------------------------------------------------------------
+def test_note_remote_counts_per_direction():
+    with activated("net_timeout@get=2;net_refuse@put=1") as plan:
+        assert fault_mod.note_remote("get") is None          # get #1
+        fired = fault_mod.note_remote("get")                 # get #2
+        assert fired is not None and fired.kind == "net_timeout"
+        assert fault_mod.note_remote("get") is None          # charge spent
+        fired = fault_mod.note_remote("put")                 # put #1
+        assert fired is not None and fired.kind == "net_refuse"
+        assert plan.remote_ops == {"get": 3, "put": 1}
+
+
+def test_remote_counters_are_separate_from_cache_put_counter():
+    # corrupt_shard@put and net_refuse@put share the site *token* but
+    # count different event streams.
+    with activated("corrupt_shard@put=1;net_refuse@put=1"):
+        assert fault_mod.note_put() is True
+        fired = fault_mod.note_remote("put")
+        assert fired is not None and fired.kind == "net_refuse"
+
+
+def test_note_remote_inactive_is_noop():
+    assert fault_mod.note_remote("get") is None
+
+
+def test_net_only_property():
+    assert FaultPlan.parse("net_timeout@get=1;net_garbage@put=2").net_only
+    assert not FaultPlan.parse("net_timeout@get=1;raise@job=1").net_only
+    assert not FaultPlan.parse("corrupt_shard@put=1").net_only
+
+
+# ----------------------------------------------------------------------
+# Outage acceptance: dead shard
+# ----------------------------------------------------------------------
+def _synth(net, tmp_path, sub, **kwargs):
+    return ddbdd_synthesize(net, DDBDDConfig(
+        jobs=1, cache="readwrite", cache_dir=str(tmp_path / sub), **kwargs,
+    ))
+
+
+def test_dead_shard_degrades_byte_identically(tmp_path):
+    """A remote-armed run against a port nothing listens on produces
+    byte-identical output to a local-only run, trips the breaker open,
+    and surfaces the outage only as kind="remote" failure rows."""
+    reset_fleet()
+    reset_remote_clients()
+    try:
+        net = random_gate_network(41, n_pi=9, n_gates=45, n_po=5)
+        local = _synth(net, tmp_path, "local", faults=None)
+        reset_fleet()
+        result = _synth(
+            net, tmp_path, "outage", faults=None,
+            cache_remote=f"http://127.0.0.1:{free_port()}",
+            remote_retries=0, remote_deadline_s=0.5,
+        )
+        assert net_dump(result.network) == net_dump(local.network)
+        assert (result.depth, result.area) == (local.depth, local.area)
+
+        stats = result.runtime_stats
+        assert stats.remote, "remote telemetry must be populated"
+        assert stats.remote["ops"]["refused"] >= 3
+        assert stats.remote["breaker"]["get"] == BREAKER_OPEN
+        assert stats.remote["ops"]["trips"] >= 1
+        rows = [f for f in stats.failures if f.kind == "remote"]
+        assert rows, "the outage must be auditable"
+        assert all(f.reason in ("refused", "breaker_open") for f in rows)
+        assert stats.cache_tiers["remote"]["hits"] == 0
+
+        diags = check_failure_reports(stats.failures)
+        codes = {d.code for d in diags}
+        assert "DD411" in codes and "DD412" in codes
+        assert all(d.severity == "warning" for d in diags)
+    finally:
+        reset_fleet()
+        reset_remote_clients()
+
+
+def test_garbage_shard_quarantines_and_stays_byte_identical(tmp_path):
+    """An injected byzantine shard (every GET answers garbage, every PUT
+    refused) never perturbs results; garbage is counted as remote
+    corruption and maps to DD413."""
+    reset_fleet()
+    reset_remote_clients()
+    try:
+        net = random_gate_network(42, n_pi=8, n_gates=40, n_po=4)
+        local = _synth(net, tmp_path, "local", faults=None)
+        reset_fleet()
+        plan = "net_garbage@get=1x999;net_refuse@put=1x999"
+        result = _synth(
+            net, tmp_path, "byzantine", faults=plan,
+            cache_remote=f"http://127.0.0.1:{free_port()}",
+            remote_retries=0, remote_deadline_s=0.5,
+        )
+        assert net_dump(result.network) == net_dump(local.network)
+        stats = result.runtime_stats
+        assert stats.remote["ops"]["garbage"] >= 1
+        assert stats.cache_tiers["remote"]["corruptions"] >= 1
+        assert stats.cache_tiers["remote"]["hits"] == 0
+        codes = {d.code for d in check_failure_reports(stats.failures)}
+        assert "DD413" in codes
+        # net-only plans keep singleflight sharing/claims enabled: the
+        # records computed under them are exactly a clean run's records.
+        assert stats.claims.get("won", 0) > 0
+    finally:
+        reset_fleet()
+        reset_remote_clients()

@@ -12,7 +12,7 @@ from repro.core import DDBDDConfig, ddbdd_synthesize
 from repro.runtime.cache import EmissionCache
 from repro.runtime.fleet import get_fleet, reset_fleet
 from repro.runtime.stats import RuntimeStats
-from repro.runtime.tiers import TieredEmissionCache
+from repro.runtime.tiers import SqliteTier, TieredEmissionCache
 from tests.conftest import random_gate_network
 from tests.runtime.helpers import net_dump
 
@@ -191,4 +191,85 @@ def test_snapshot_shape():
         "flights_in_flight", "requests_active", "stores",
     }
     assert all(isinstance(v, int) for v in snap.values())
+    reset_fleet()
+
+
+# ----------------------------------------------------------------------
+# Cross-daemon singleflight claims
+# ----------------------------------------------------------------------
+def test_cold_run_claims_every_computed_key(tmp_path):
+    """A clean cached run claims each missed signature before computing
+    it and releases every lease afterwards — the telemetry proves it."""
+    reset_fleet()
+    net = random_gate_network(51, n_pi=8, n_gates=40, n_po=4)
+    result = ddbdd_synthesize(net, DDBDDConfig(
+        jobs=1, cache="readwrite", cache_dir=str(tmp_path), faults=None,
+    ))
+    claims = result.runtime_stats.claims
+    misses = result.runtime_stats.cache_misses
+    assert misses > 0
+    assert claims.get("won") == misses
+    assert claims.get("released") == misses
+    assert "held" not in claims and "reaped" not in claims
+    # Nothing left behind in the lease table.
+    store = get_fleet().store_for(DDBDDConfig(cache="read", cache_dir=str(tmp_path)))
+    assert isinstance(store, TieredEmissionCache)
+    for key in store.disk.keys():
+        assert store.disk.claim_state(key) is None
+    reset_fleet()
+
+
+def test_cache_claims_off_disables_coordination(tmp_path):
+    reset_fleet()
+    net = random_gate_network(52, n_pi=8, n_gates=30, n_po=4)
+    result = ddbdd_synthesize(net, DDBDDConfig(
+        jobs=1, cache="readwrite", cache_dir=str(tmp_path),
+        cache_claims=False, faults=None,
+    ))
+    assert result.runtime_stats.claims == {}
+    reset_fleet()
+
+
+def test_dead_daemon_lease_is_reaped_and_recomputed(tmp_path, monkeypatch):
+    """Acceptance: a claim-holder that died mid-flight (its lease rows
+    sit in the shared store, its process will never release them) is
+    reaped by a waiter on the tick budget, and the waiter's clean retry
+    is byte-identical to an uncontended run."""
+    reset_fleet()
+    net = random_gate_network(53, n_pi=8, n_gates=35, n_po=4)
+    clean = ddbdd_synthesize(net, DDBDDConfig(jobs=1, faults=None))
+
+    # Learn the run's signatures from a throwaway warm root, then plant
+    # a dead daemon's leases for all of them in a fresh root.
+    warm = ddbdd_synthesize(net, DDBDDConfig(
+        jobs=1, cache="readwrite", cache_dir=str(tmp_path / "warm"), faults=None,
+    ))
+    keys = TieredEmissionCache(tmp_path / "warm").disk.keys()
+    assert len(keys) == warm.runtime_stats.cache_misses and keys
+    reset_fleet()
+
+    cold_root = tmp_path / "cold"
+    dead = SqliteTier(cold_root)
+    grants = dead.claim_many(keys, "deadhost:99999")
+    assert all(status == "won" for status, _, _ in grants.values())
+
+    # Shrink the reap budget so the test does not poll for 5 seconds.
+    monkeypatch.setattr(fleet_mod, "CLAIM_POLL_S", 0.001)
+    monkeypatch.setattr(fleet_mod, "CLAIM_REAP_TICKS", 3)
+
+    result = ddbdd_synthesize(net, DDBDDConfig(
+        jobs=1, cache="readwrite", cache_dir=str(cold_root), faults=None,
+    ))
+    assert net_dump(result.network) == net_dump(clean.network)
+    assert (result.depth, result.area) == (clean.depth, clean.area)
+
+    claims = result.runtime_stats.claims
+    assert claims.get("held") == len(keys), "every key was seen leased"
+    assert claims.get("reaped") == len(keys), "every stale lease was taken over"
+    assert claims.get("released") == len(keys)
+    # The reaper computed the records itself and left no leases behind.
+    reader = SqliteTier(cold_root)
+    assert sorted(reader.keys()) == sorted(keys)
+    for key in keys:
+        assert reader.claim_state(key) is None
     reset_fleet()

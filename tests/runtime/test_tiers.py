@@ -1,5 +1,6 @@
 """Tiered content-addressed store: per-tier LRU/corruption/promotion
-behaviour, cross-process-safe tier-2 writes, legacy-shard migration."""
+behaviour, cross-process-safe tier-2 writes, legacy-shard migration,
+cross-daemon claim leases and the remote tier-4 walk."""
 
 from __future__ import annotations
 
@@ -11,10 +12,12 @@ from repro.core import DDBDDConfig, ddbdd_synthesize
 from repro.runtime.cache import EmissionCache
 from repro.runtime.emission import EmissionCell, EmissionRecord
 from repro.runtime.fleet import reset_fleet
+from repro.runtime.remote import RemoteResult
 from repro.runtime.signature import SIGNATURE_VERSION
 from repro.runtime.tiers import (
     CacheTelemetry,
     MemoryTier,
+    REMOTE_OP_KEYS,
     SqliteTier,
     TieredEmissionCache,
     TIER_NAMES,
@@ -241,3 +244,243 @@ def test_legacy_cache_dir_migrates_into_tiers(tmp_path):
     ))
     assert again.runtime_stats.cache_misses == 0
     assert again.runtime_stats.cache_tiers["shards"]["hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# Cross-daemon singleflight claims (the tier-2 lease table)
+# ----------------------------------------------------------------------
+def test_claim_many_wins_then_holds(tmp_path):
+    tier = SqliteTier(tmp_path)
+    grants = tier.claim_many([_key(1), _key(2)], "daemon-a:1")
+    assert {status for status, _, _ in grants.values()} == {"won"}
+    gen = grants[_key(1)][1]
+    assert grants[_key(2)][1] == gen, "one wave shares one generation"
+    # A second daemon sees both keys held by the first.
+    other = SqliteTier(tmp_path)
+    held = other.claim_many([_key(1), _key(3)], "daemon-b:2")
+    assert held[_key(1)] == ("held", gen, "daemon-a:1")
+    assert held[_key(3)][0] == "won"
+    assert held[_key(3)][1] > gen, "generations are monotonic"
+
+
+def test_claim_state_and_wait_bump(tmp_path):
+    tier = SqliteTier(tmp_path)
+    assert tier.claim_state(_key(4)) is None
+    (status, gen, owner) = tier.claim_many([_key(4)], "d:1")[_key(4)]
+    assert (status, owner) == ("won", "d:1")
+    assert tier.claim_state(_key(4)) == ("d:1", gen, 0)
+    assert tier.bump_claim_wait(_key(4), gen) is True
+    assert tier.claim_state(_key(4)) == ("d:1", gen, 1)
+    # Bumping a generation that no longer exists reports False.
+    assert tier.bump_claim_wait(_key(4), gen + 99) is False
+    tier.release_claims([(_key(4), gen)])
+    assert tier.claim_state(_key(4)) is None
+    assert tier.bump_claim_wait(_key(4), gen) is False
+
+
+def test_release_is_generation_guarded(tmp_path):
+    tier = SqliteTier(tmp_path)
+    (_, gen, _) = tier.claim_many([_key(5)], "dead:1")[_key(5)]
+    # A waiter reaps the stale lease: new generation, new owner.
+    status, gen2, owner = tier.reap_claim(_key(5), gen, "live:2")
+    assert (status, owner) == ("won", "live:2") and gen2 > gen
+    # The dead owner's late release must NOT touch the fresh lease.
+    tier.release_claims([(_key(5), gen)])
+    assert tier.claim_state(_key(5)) == ("live:2", gen2, 0)
+    tier.release_claims([(_key(5), gen2)])
+    assert tier.claim_state(_key(5)) is None
+
+
+def test_reap_claim_ladder(tmp_path):
+    tier = SqliteTier(tmp_path)
+    # gone: no lease at all (holder released; re-check the store).
+    assert tier.reap_claim(_key(6), 7, "x:1") == ("gone", 0, "")
+    (_, gen, _) = tier.claim_many([_key(6)], "a:1")[_key(6)]
+    # held: the lease changed hands first — watch the new generation.
+    assert tier.reap_claim(_key(6), gen - 1, "x:1") == ("held", gen, "a:1")
+    # won: exact-generation takeover resets the waits column.
+    assert tier.bump_claim_wait(_key(6), gen)
+    status, gen2, _ = tier.reap_claim(_key(6), gen, "x:1")
+    assert status == "won"
+    assert tier.claim_state(_key(6)) == ("x:1", gen2, 0)
+
+
+def test_claims_degrade_on_damaged_database(tmp_path):
+    tier = SqliteTier(tmp_path)
+    assert tier.put(_key(7), _record())[0]
+    tier.path.write_bytes(b"garbage, not sqlite")
+    grants = tier.claim_many([_key(7)], "d:1")
+    assert grants[_key(7)] == ("error", 0, ""), "degrade to uncoordinated compute"
+    assert tier.reap_claim(_key(7), 1, "d:1") == ("error", 0, "")
+
+
+def test_contended_claims_and_puts_never_drop_or_corrupt(tmp_path):
+    """Satellite: concurrent writers (records + claims on one database)
+    under sqlite lock contention — every put survives, LRU touch
+    counters stay sane, and each claim key has exactly one winner."""
+    handles = [SqliteTier(tmp_path) for _ in range(3)]
+    claim_keys = [_key(200 + i) for i in range(8)]
+    wins: list = []
+    errors: list = []
+
+    def hammer(idx: int, tier: SqliteTier) -> None:
+        try:
+            won = []
+            for i in range(30):
+                assert tier.put(_key(idx * 1000 + i), _record(i))[0]
+                if i < len(claim_keys):
+                    status, gen, _ = tier.claim_many(
+                        [claim_keys[i]], f"d:{idx}"
+                    )[claim_keys[i]]
+                    if status == "won":
+                        won.append((claim_keys[i], gen))
+                    else:
+                        assert status == "held"
+                        tier.bump_claim_wait(claim_keys[i], gen)
+            wins.append(won)
+        except Exception as exc:  # pragma: no cover - the test's point
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(i, t))
+        for i, t in enumerate(handles)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors, errors
+    reader = SqliteTier(tmp_path)
+    record_keys = reader.keys()
+    assert len(record_keys) == 90, "no put may be dropped under contention"
+    with sqlite3.connect(reader.path) as conn:
+        touched = [row[0] for row in conn.execute("SELECT touched FROM records")]
+    assert all(isinstance(t, float) and t > 0 for t in touched)
+    # Exactly one winner per claim key across all threads.
+    flat = [key for won in wins for key, _ in won]
+    assert sorted(flat) == sorted(claim_keys)
+    for won in wins:
+        reader.release_claims(won)
+    assert all(reader.claim_state(k) is None for k in claim_keys)
+    # The records table is untouched by claim traffic.
+    for key in record_keys:
+        record, corrupt = reader.get(key)
+        assert record is not None and corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# Tier 4: the remote walk (driven through a scripted fake client)
+# ----------------------------------------------------------------------
+class _FakeRemote:
+    """Scripted stand-in for RemoteClient: returns canned results and
+    records what the walk asked of it."""
+
+    def __init__(self, get_result: RemoteResult, put_result: RemoteResult = None):
+        self.get_result = get_result
+        self.put_result = put_result or RemoteResult(stored=True)
+        self.gets: list = []
+        self.puts: list = []
+        self.quarantines = 0
+        self.quarantine_trips = False
+
+    def get(self, key):
+        self.gets.append(key)
+        return self.get_result
+
+    def put(self, key, record):
+        self.puts.append(key)
+        return self.put_result
+
+    def note_quarantine(self):
+        self.quarantines += 1
+        return self.quarantine_trips
+
+
+def test_remote_walk_requires_verify(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    store.remote = _FakeRemote(RemoteResult(record=_record()))
+    assert store.get(_key(8)) is None, "no verify callback: remote never walked"
+    assert store.remote.gets == []
+
+
+def test_remote_hit_verifies_then_promotes(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    store.remote = _FakeRemote(RemoteResult(record=_record(9)))
+    tele = CacheTelemetry()
+    got = store.get(_key(9), tele, verify=lambda r: True, job="n9")
+    assert got == _record(9)
+    assert tele.tiers["remote"]["hits"] == 1
+    assert tele.tiers["sqlite"]["promotions"] == 1
+    assert tele.tiers["memory"]["promotions"] == 1
+    # Promoted: the next read never reaches the fake again.
+    assert store.get(_key(9), verify=lambda r: True) == _record(9)
+    assert len(store.remote.gets) == 1
+    assert store.disk.get(_key(9))[0] == _record(9)
+
+
+def test_remote_read_mode_promotes_memory_only(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    store.remote = _FakeRemote(RemoteResult(record=_record(10)))
+    got = store.get(_key(10), promote_disk=False, verify=lambda r: True)
+    assert got == _record(10)
+    assert not store.disk.path.exists(), "read mode must not create files"
+    assert len(store.memory) == 1
+
+
+def test_remote_quarantine_never_promotes(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    store.remote = _FakeRemote(RemoteResult(record=_record(11)))
+    store.remote.quarantine_trips = True
+    tele = CacheTelemetry()
+    got = store.get(_key(11), tele, verify=lambda r: False, job="n11")
+    assert got is None, "a verify-rejected record is never returned"
+    assert store.remote.quarantines == 1
+    assert len(store.memory) == 0 and not store.disk.path.exists()
+    assert tele.tiers["remote"]["corruptions"] == 1
+    assert tele.remote["quarantined"] == 1
+    reasons = [(f.reason, f.rung) for f in tele.failures]
+    assert ("quarantined", "get") in reasons
+    assert ("breaker_open", "get") in reasons, "the fed-back trip is audited"
+    assert tele.remote["trips"] == 1
+
+
+def test_remote_fault_degrades_to_miss(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    store.remote = _FakeRemote(RemoteResult(fault="timeout", retries=2, tripped=True))
+    tele = CacheTelemetry()
+    assert store.get(_key(12), tele, verify=lambda r: True, job="n12") is None
+    assert tele.tiers["remote"]["misses"] == 1
+    assert tele.remote["timeout"] == 1
+    assert tele.remote["retries"] == 2
+    assert tele.remote["trips"] == 1
+    rows = [(f.kind, f.reason) for f in tele.failures]
+    assert rows == [("remote", "timeout"), ("remote", "breaker_open")]
+
+
+def test_remote_breaker_open_skip_is_silent(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    store.remote = _FakeRemote(RemoteResult(fault="breaker_open"))
+    tele = CacheTelemetry()
+    assert store.get(_key(13), tele, verify=lambda r: True, job="n13") is None
+    assert tele.remote["breaker_open"] == 1
+    assert tele.failures == [], "skips during an outage never flood the report"
+
+
+def test_put_fans_out_to_remote(tmp_path):
+    store = TieredEmissionCache(tmp_path)
+    store.remote = _FakeRemote(
+        RemoteResult(), put_result=RemoteResult(fault="refused")
+    )
+    tele = CacheTelemetry()
+    assert store.put(_key(14), _record(14), tele, job="n14")
+    assert store.remote.puts == [_key(14)]
+    assert tele.tiers["remote"]["puts"] == 0, "a refused fan-out stored nothing"
+    assert [f.reason for f in tele.failures] == ["refused"]
+    # The local tiers kept the record regardless.
+    assert store.get(_key(14)) == _record(14)
+
+
+def test_remote_op_keys_shape():
+    tele = CacheTelemetry()
+    assert set(tele.remote) == set(REMOTE_OP_KEYS)
+    assert all(v == 0 for v in tele.remote.values())

@@ -121,6 +121,25 @@ class TestAccepted:
         req = parse_submit({"benchmark": "mux", "flow": "sweep;synth;map"})
         assert req.pipeline_script == "sweep;synth;map"
 
+    def test_remote_tier_knobs_are_allowlisted(self):
+        req = parse_submit({"benchmark": "mux", "config": {
+            "cache_remote": "http://127.0.0.1:9",
+            "remote_deadline_s": 0.5,
+            "remote_retries": 0,
+            "remote_breaker": "2/4/1",
+            "cache_claims": False,
+        }})
+        assert req.config.cache_remote == "http://127.0.0.1:9"
+        assert req.config.remote_deadline_s == 0.5
+        assert req.config.remote_retries == 0
+        assert req.config.remote_breaker == "2/4/1"
+        assert req.config.cache_claims is False
+
+    def test_bad_remote_knob_is_structured_400(self):
+        exc = submit_error({"benchmark": "mux",
+                            "config": {"cache_remote": "ftp://nope"}})
+        assert exc.code == "invalid_config"
+
     def test_snapshot_key_contract(self):
         from repro.serve.queue import ServeJob
 

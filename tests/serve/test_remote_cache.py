@@ -1,0 +1,163 @@
+"""The daemon as a remote cache shard: ``/v1/cache/<sig>`` GET/PUT,
+healthz reachability keys, metrics families, and the warm-box →
+cold-box fetch path through the tier-4 client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import build_circuit
+from repro.core import DDBDDConfig, ddbdd_synthesize
+from repro.runtime.emission import EmissionCell, EmissionRecord
+from repro.runtime.fleet import reset_fleet
+from repro.runtime.remote import reset_remote_clients
+from repro.runtime.tiers import SqliteTier
+from repro.serve import ServerConfig
+from repro.serve.metrics import MetricsRegistry
+from tests.runtime.helpers import net_dump
+from tests.serve.helpers import DaemonHarness
+
+
+@pytest.fixture(scope="module")
+def shard(tmp_path_factory):
+    root = tmp_path_factory.mktemp("shard-root")
+    harness = DaemonHarness(
+        ServerConfig(max_workers=2, cache_root=str(root))
+    ).start()
+    harness.cache_root = root
+    yield harness
+    harness.stop()
+
+
+def _record(tag: int = 0) -> EmissionRecord:
+    return EmissionRecord(
+        cells=(EmissionCell(("v0", "v1"), "0001"),),
+        out_ref="c0",
+        out_neg=False,
+        out_depth=1,
+        states_visited=tag,
+        bdd_size=3,
+        num_inputs=2,
+    )
+
+
+class TestEndpoints:
+    def test_put_get_roundtrip(self, shard):
+        key = "ab" * 32
+        status, body = shard.request("PUT", f"/v1/cache/{key}", _record(7).to_json_obj())
+        assert status == 200 and body["stored"] is True and body["key"] == key
+        status, body = shard.request("GET", f"/v1/cache/{key}")
+        assert status == 200
+        assert EmissionRecord.from_json_obj(body) == _record(7)
+
+    def test_miss_is_structured_404(self, shard):
+        status, body = shard.request("GET", "/v1/cache/" + "0" * 64)
+        assert status == 404 and body["error"]["code"] == "cache_miss"
+
+    @pytest.mark.parametrize("sig", ["short", "g" * 64, "AB" * 32, "x/y"])
+    def test_invalid_signature_is_400(self, shard, sig):
+        status, body = shard.request("GET", f"/v1/cache/{sig}")
+        assert status == 400 and body["error"]["code"] == "invalid_signature"
+
+    def test_invalid_record_is_400(self, shard):
+        status, body = shard.request("PUT", "/v1/cache/" + "1" * 64, {"cells": "garbage"})
+        assert status == 400 and body["error"]["code"] == "invalid_record"
+
+    def test_wrong_method_is_405(self, shard):
+        status, body = shard.request("POST", "/v1/cache/" + "2" * 64, {})
+        assert status == 405
+
+    def test_no_cache_root_means_disabled(self):
+        bare = DaemonHarness(ServerConfig(max_workers=1)).start()
+        try:
+            status, body = bare.request("GET", "/v1/cache/" + "0" * 64)
+            assert status == 404 and body["error"]["code"] == "cache_disabled"
+            status, health = bare.request("GET", "/healthz")
+            assert status == 200
+            assert health["cache_tiers"] == {"configured": False}
+        finally:
+            bare.stop()
+
+
+class TestHealthz:
+    def test_healthz_reports_shard_reachability(self, shard):
+        status, health = shard.request("GET", "/healthz")
+        assert status == 200
+        tiers = health["cache_tiers"]
+        assert tiers["configured"] is True
+        assert tiers["sqlite_ok"] is True
+        assert tiers["root"] == str(shard.cache_root)
+        assert isinstance(tiers["memory_entries"], int)
+        assert isinstance(tiers["sqlite_entries"], int)
+        assert isinstance(health["remote_breakers"], dict)
+
+
+class TestWarmToCold:
+    def test_cold_box_fetches_from_warm_shard(self, shard):
+        """Acceptance: a job synthesized on the shard box is served to a
+        cold box over ``/v1/cache`` — verified, promoted, byte-identical."""
+        reset_fleet()
+        reset_remote_clients()
+        try:
+            clean = ddbdd_synthesize(build_circuit("misex1"), DDBDDConfig(faults=None))
+
+            # Warm the shard: run the job daemon-side with its cache root.
+            status, snap = shard.request("POST", "/v1/synthesize", {
+                "benchmark": "misex1", "mode": "sync",
+                "config": {"cache": "readwrite", "cache_dir": str(shard.cache_root)},
+            })
+            assert status == 200 and snap["state"] == "done"
+            warm_keys = SqliteTier(shard.cache_root).keys()
+            assert warm_keys, "the shard's tier-2 store must hold the records"
+
+            # Cold box: fresh local root, remote pointed at the shard.
+            reset_fleet()
+            cold = ddbdd_synthesize(build_circuit("misex1"), DDBDDConfig(
+                jobs=1, cache="readwrite",
+                cache_dir=str(shard.cache_root.parent / "cold-root"),
+                cache_remote=f"http://127.0.0.1:{shard.port}",
+                faults=None,
+            ))
+            assert net_dump(cold.network) == net_dump(clean.network)
+            assert (cold.depth, cold.area) == (clean.depth, clean.area)
+            stats = cold.runtime_stats
+            assert stats.cache_tiers["remote"]["hits"] > 0
+            assert stats.cache_misses == 0, "every signature came off the shard"
+            assert stats.remote["url"] == f"http://127.0.0.1:{shard.port}"
+            assert all(v == 0 for v in stats.remote["ops"].values()), \
+                "a healthy shard produces a zero fault breakdown"
+            assert stats.remote["breaker"] == {"get": "closed", "put": "closed"}
+            assert not [f for f in stats.failures if f.kind == "remote"]
+        finally:
+            reset_fleet()
+            reset_remote_clients()
+
+
+class TestMetrics:
+    def test_registry_folds_remote_and_claim_stats(self):
+        registry = MetricsRegistry()
+        registry.observe({
+            "remote": {"url": "http://s:1", "ops": {"timeout": 2, "retries": 3},
+                       "breaker": {"get": "open", "put": "closed"}},
+            "claims": {"won": 4, "held": 1},
+        })
+        registry.observe({"claims": {"won": 1}})
+        snap = registry.snapshot()
+        assert snap["remote_ops"] == {"retries": 3, "timeout": 2}
+        assert snap["claims"] == {"held": 1, "won": 5}
+
+    def test_prometheus_exposes_remote_families(self, shard):
+        status, text = shard.request("GET", "/metrics?format=prometheus")
+        assert status == 200
+        for family in (
+            "ddbdd_remote_ops_total",
+            "ddbdd_claims_total",
+            "ddbdd_breaker_state",
+            "ddbdd_cache_tier_ops_total",
+        ):
+            assert f"# TYPE {family}" in text, family
+
+    def test_metrics_json_has_remote_and_claims(self, shard):
+        status, payload = shard.request("GET", "/metrics")
+        assert status == 200
+        assert "remote_ops" in payload and "claims" in payload
